@@ -1,0 +1,60 @@
+"""Table 2 — video codec (H.261): the single Pareto point (64x64, 59).
+
+Paper (SUN Ultra 30, C++):
+
+    h_t   chip     CPU time
+    59    64x64    24.87 s
+
+plus the statements "there is no solution for container sizes smaller than
+64 x 64" and "h_t = 59 is the smallest latency possible due to the data
+dependencies".
+"""
+
+from repro.core import minimize_base, pareto_front
+from repro.core.spp import minimize_makespan
+from repro.fpga import place, square_chip
+from repro.instances.video_codec import TABLE_2
+
+
+def test_table2_min_latency_on_64(benchmark, codec_graph):
+    boxes = codec_graph.boxes()
+    dag = codec_graph.dependency_dag()
+
+    def run():
+        return minimize_makespan(boxes, dag, chip=(64, 64))
+
+    result = benchmark(run)
+    assert result.status == "optimal"
+    assert result.optimum == TABLE_2["latency"]
+    assert result.placement is not None and result.placement.is_feasible()
+
+
+def test_table2_min_chip_at_59(benchmark, codec_graph):
+    boxes = codec_graph.boxes()
+    dag = codec_graph.dependency_dag()
+
+    def run():
+        return minimize_base(boxes, dag, time_bound=TABLE_2["latency"])
+
+    result = benchmark(run)
+    assert result.status == "optimal"
+    assert result.optimum == TABLE_2["side"]
+
+
+def test_table2_smaller_chips_infeasible(benchmark, codec_graph):
+    def run():
+        return place(codec_graph, square_chip(63), time_bound=500)
+
+    outcome = benchmark(run)
+    assert outcome.status == "unsat"
+
+
+def test_table2_single_pareto_point(benchmark, codec_graph):
+    boxes = codec_graph.boxes()
+    dag = codec_graph.dependency_dag()
+
+    def run():
+        return pareto_front(boxes, dag, max_time=TABLE_2["latency"] + 20)
+
+    front = benchmark(run)
+    assert front.as_pairs() == [(TABLE_2["latency"], TABLE_2["side"])]

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Every benchmark asserts the values the paper reports (or our measured
+ground truth where the paper is only qualitative) *and* measures our
+wall-clock time, so the bench output doubles as the reproduction record
+for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def de_graph():
+    from repro.instances.de import de_task_graph
+
+    return de_task_graph()
+
+
+@pytest.fixture(scope="session")
+def codec_graph():
+    from repro.instances.video_codec import codec_task_graph
+
+    return codec_task_graph()

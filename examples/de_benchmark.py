@@ -1,0 +1,44 @@
+"""The DE benchmark end to end (Section 5.1 of the paper).
+
+Reproduces Table 1 (minimal square chip per deadline), prints the optimal
+schedule for the fastest design point, and shows the chip floorplans.
+
+Run:  python examples/de_benchmark.py
+"""
+
+from repro.fpga import minimize_chip, place, square_chip
+from repro.instances.de import TABLE_1, de_task_graph
+from repro.io.report import table1_report
+
+graph = de_task_graph()
+print(graph)
+print(f"critical path: {graph.critical_path_length()} clock cycles")
+print()
+
+# Table 1: minimize the chip for each deadline the paper reports.
+results = []
+for time_bound in sorted(TABLE_1):
+    outcome = minimize_chip(graph, time_bound)
+    results.append((time_bound, outcome.details))
+    print(
+        f"deadline h_t={time_bound}: minimal chip "
+        f"{outcome.optimum}x{outcome.optimum} "
+        f"({len(outcome.details.probes)} OPP probes, "
+        f"{outcome.details.total_seconds:.3f}s)"
+    )
+print()
+print(table1_report(results, TABLE_1))
+print()
+
+# The fastest design point: 6 cycles on the 32x32 chip.
+outcome = place(graph, square_chip(32), time_bound=6)
+assert outcome.is_feasible
+schedule = outcome.schedule
+print("optimal 6-cycle schedule on the 32x32 chip:")
+print(schedule.table())
+print()
+print(schedule.gantt())
+print()
+for cycle in (0, 2, 4, 5):
+    print(schedule.floorplan(cycle, max_cells=32))
+    print()

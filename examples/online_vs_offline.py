@@ -1,0 +1,62 @@
+"""The price of on-line placement (the paper's motivation, quantified).
+
+The paper's introduction contrasts run-time ("on-line") placement
+strategies with its compile-time exact optimization.  This example runs a
+task sequence through the greedy on-line placer and through the exact
+offline solver, and reports the gap.
+
+Run:  python examples/online_vs_offline.py
+"""
+
+import random
+
+from repro.fpga import (
+    ModuleType,
+    OnlinePlacer,
+    OnlineRequest,
+    Task,
+    TaskGraph,
+    minimize_latency,
+    square_chip,
+)
+
+rng = random.Random(5)
+chip = square_chip(8)
+
+# A mixed workload: small squares, wide bars, and one big block.
+modules = [
+    ModuleType("SQ", width=3, height=3, duration=2),
+    ModuleType("BAR", width=8, height=2, duration=1),
+    ModuleType("COL", width=2, height=6, duration=2),
+    ModuleType("BIG", width=6, height=6, duration=3),
+]
+requests = []
+for i in range(8):
+    module = rng.choice(modules)
+    requests.append(OnlineRequest(Task(f"t{i}", module), release=0))
+
+# --- on-line: greedy first-fit in arrival order -------------------------
+placer = OnlinePlacer(chip, horizon=256)
+placer.run(requests)
+online_span = placer.makespan
+print(f"on-line first-fit: makespan {online_span}, "
+      f"utilization {placer.utilization():.0%}, "
+      f"avg wait {placer.stats.average_wait:.1f} cycles")
+schedule = placer.to_schedule()
+assert schedule.is_feasible()
+print(schedule.gantt())
+print()
+
+# --- offline: the exact packing-class solver ------------------------------
+graph = TaskGraph("offline")
+for r in requests:
+    graph.add_task(r.task.name, r.task.module)
+outcome = minimize_latency(graph, chip)
+assert outcome.status == "optimal"
+offline_span = outcome.optimum
+print(f"offline exact optimum: makespan {offline_span}")
+print()
+
+gap = 100 * (online_span - offline_span) / offline_span
+print(f"price of being on-line: +{online_span - offline_span} cycles ({gap:.0f}%)")
+assert online_span >= offline_span

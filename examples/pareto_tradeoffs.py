@@ -1,0 +1,56 @@
+"""Area/latency trade-off exploration (Figure 7 of the paper).
+
+Computes the Pareto front of (chip size, latency) for the DE benchmark,
+once with the data dependencies and once ignoring them, and draws both
+staircases as ASCII — the shape of the paper's Figure 7.
+
+Run:  python examples/pareto_tradeoffs.py
+"""
+
+from repro.fpga import explore_tradeoffs
+from repro.instances.de import de_task_graph
+from repro.io.report import pareto_report
+
+graph = de_task_graph()
+
+with_prec = explore_tradeoffs(graph, with_dependencies=True)
+without_prec = explore_tradeoffs(graph, with_dependencies=False)
+
+print(pareto_report(with_prec, "with precedence constraints — solid in Fig. 7"))
+print()
+print(pareto_report(without_prec, "without precedence constraints — dashed"))
+print()
+
+
+def ascii_plot(fronts, labels, width=50):
+    """A rough scatter of latency (y, downward) vs chip side (x)."""
+    points = [(p.time_bound, p.side, label) for front, label in zip(fronts, labels)
+              for p in front.points]
+    max_t = max(p[0] for p in points)
+    max_s = max(p[1] for p in points)
+    rows = []
+    for t in range(max_t, 0, -1):
+        row = [" "] * (width + 1)
+        for pt, ps, label in points:
+            if pt == t:
+                x = round(ps / max_s * width)
+                row[x] = label
+        rows.append(f"h_t={t:>2} |" + "".join(row))
+    axis = "        +" + "-" * (width + 1)
+    ticks = f"         0{' ' * (width - 6)}h_x={max_s}"
+    return "\n".join(rows + [axis, ticks])
+
+
+print("latency (down) vs chip side (right); o = with precedence, x = without")
+print(ascii_plot([with_prec, without_prec], ["o", "x"]))
+print()
+
+# The cost of dependencies: at every latency the constrained design needs at
+# least as large a chip.
+pairs_with = dict(with_prec.as_pairs())
+pairs_without = dict(without_prec.as_pairs())
+print("latency  chip(with deps)  chip(without)")
+for t in sorted(set(pairs_with) | set(pairs_without)):
+    w = pairs_with.get(t, "-")
+    wo = pairs_without.get(t, "-")
+    print(f"{t:>7}  {w!s:>15}  {wo!s:>13}")

@@ -1,0 +1,42 @@
+"""Quickstart: place a small task graph on a reconfigurable FPGA.
+
+Builds a four-task pipeline from two module types, asks for a feasible
+space-time placement under a latency bound, and prints the schedule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.fpga import ModuleType, TaskGraph, place, square_chip
+
+# 1. Define the hardware modules (cells on the chip x clock cycles).
+mac = ModuleType("MAC", width=8, height=8, duration=3)
+alu = ModuleType("ALU", width=8, height=2, duration=1)
+
+# 2. Build the task graph: two MACs feeding an ALU, plus an independent ALU.
+graph = TaskGraph("quickstart")
+graph.add_task("mac0", mac)
+graph.add_task("mac1", mac)
+graph.add_task("combine", alu)
+graph.add_task("side", alu)
+graph.add_dependency("mac0", "combine")
+graph.add_dependency("mac1", "combine")
+
+# 3. Place it on a 16x16 chip within 4 clock cycles (the critical path).
+chip = square_chip(16)
+outcome = place(graph, chip, time_bound=4)
+
+print(f"status: {outcome.status}")
+assert outcome.is_feasible, "this instance is feasible by construction"
+schedule = outcome.schedule
+print(schedule)
+print()
+print(schedule.table())
+print()
+print(schedule.gantt())
+print()
+# The chip at cycle 0: both MACs side by side, the independent ALU squeezed in.
+print(schedule.floorplan(0, max_cells=16))
+
+# 4. The same instance is infeasible in 3 cycles (critical path is 3+1 = 4).
+too_tight = place(graph, chip, time_bound=3)
+print(f"\nwith time_bound=3: {too_tight.status} ({too_tight.certificate})")

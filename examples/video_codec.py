@@ -1,0 +1,41 @@
+"""The H.261 video-codec benchmark end to end (Section 5.2 of the paper).
+
+Minimizes the latency of the coder+decoder problem graph on the smallest
+feasible chip (64x64 — the block-matching module alone needs the full
+array), reproducing the paper's single Pareto point (64, 59).
+
+Run:  python examples/video_codec.py
+"""
+
+from repro.fpga import minimize_latency, place, square_chip
+from repro.instances.video_codec import TABLE_2, codec_task_graph
+
+graph = codec_task_graph()
+print(graph)
+print(f"critical path: {graph.critical_path_length()} clock cycles")
+print()
+
+# No chip below 64x64 can work: the BMM module needs the whole array.
+smaller = place(graph, square_chip(63), time_bound=1000)
+print(f"on a 63x63 chip: {smaller.status}")
+print(f"  certificate: {smaller.certificate}")
+print()
+
+# Minimal latency on the 64x64 chip (Table 2).
+outcome = minimize_latency(graph, square_chip(64))
+print(
+    f"minimal latency on 64x64: {outcome.optimum} cycles "
+    f"(paper: {TABLE_2['latency']})"
+)
+assert outcome.schedule is not None
+schedule = outcome.schedule
+print()
+print(schedule.gantt())
+print()
+
+# The motion-estimation phase monopolizes the chip; afterwards the
+# transform pipeline and the decoder share it.
+me_end = schedule.entry("ME").end
+print(schedule.floorplan(0, max_cells=32))
+print()
+print(schedule.floorplan(me_end, max_cells=32))

@@ -1,0 +1,45 @@
+"""repro — Optimal FPGA module placement with temporal precedence constraints.
+
+A from-scratch reproduction of Fekete, Köhler & Teich (DATE 2001): exact
+placement of hardware modules in space and time on partially reconfigurable
+FPGAs, modeled as 3-D orthogonal packing and solved via *packing classes* —
+a graph-theoretic characterization of feasible packings — extended with the
+paper's implication machinery for temporal precedence constraints.
+
+Quickstart::
+
+    from repro.fpga import TaskGraph, ModuleType, square_chip, place
+
+    mul = ModuleType("MUL", width=16, height=16, duration=2)
+    alu = ModuleType("ALU", width=16, height=1, duration=1)
+    g = TaskGraph("demo")
+    a = g.add_task("a", mul)
+    b = g.add_task("b", alu)
+    g.add_dependency(a, b)
+    outcome = place(g, square_chip(16), time_bound=3)
+    print(outcome.schedule.gantt())
+
+Main entry points:
+
+* :mod:`repro.fpga` — domain API (task graphs, chips, `place`,
+  `minimize_chip`, `minimize_latency`, `explore_tradeoffs`);
+* :mod:`repro.core` — the packing engine (OPP/BMP/SPP/FixedS solvers,
+  packing classes, bounds);
+* :mod:`repro.instances` — the paper's DE and video-codec benchmarks;
+* :mod:`repro.baselines` — the comparison approaches the paper rejects.
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, fpga, graphs, heuristics, instances, io
+
+__all__ = [
+    "baselines",
+    "core",
+    "fpga",
+    "graphs",
+    "heuristics",
+    "instances",
+    "io",
+    "__version__",
+]

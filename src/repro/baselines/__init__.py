@@ -1,0 +1,15 @@
+"""Comparison baselines: the approaches the paper argues against."""
+
+from .geometric_bb import GeometricResult, GeometricStats, solve_opp_geometric
+from .grid_bb import GridResult, GridStats, solve_opp_grid
+from .korte_mohring_leaf import solve_opp_leaf_oriented
+
+__all__ = [
+    "GeometricResult",
+    "GeometricStats",
+    "solve_opp_geometric",
+    "GridResult",
+    "GridStats",
+    "solve_opp_grid",
+    "solve_opp_leaf_oriented",
+]

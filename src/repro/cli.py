@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-fpga`` script.
+
+Subcommands regenerate the paper's experiments and solve user instances:
+
+* ``table1`` — DE benchmark BMP sweep (Table 1);
+* ``table2`` — video-codec minimal latency (Table 2);
+* ``fig7``   — DE Pareto fronts with/without precedence (Figure 7);
+* ``solve``  — decide a JSON packing instance (see ``repro.io.serialize``);
+* ``demo``   — a small end-to-end placement with ASCII output;
+* ``bmp``    — minimal square chip for a task-graph JSON + deadline;
+* ``spp``    — minimal latency for a task-graph JSON + chip;
+* ``area``   — minimal free-aspect chip for a task-graph JSON + deadline;
+* ``pareto`` — Pareto front for a task-graph JSON;
+* ``svg``    — render a Gantt chart / floorplans for a design point.
+
+Task-graph JSON files follow :func:`repro.io.serialize.task_graph_to_dict`;
+the built-in benchmarks are available as ``@de``, ``@codec``, ``@fir<N>``
+and ``@fft<N>`` (e.g. ``repro-fpga bmp @de --time 14``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.bmp import minimize_base
+from .core.opp import SolverOptions, solve_opp
+from .fpga import explore_tradeoffs, minimize_latency, place, square_chip
+from .instances.de import TABLE_1, de_task_graph
+from .instances.video_codec import TABLE_2, codec_task_graph
+from .io.report import format_table, pareto_report, table1_report
+from .io.serialize import instance_from_dict, loads
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    graph = de_task_graph()
+    results = []
+    for time_bound in sorted(TABLE_1):
+        result = minimize_base(
+            graph.boxes(), graph.dependency_dag(), time_bound=time_bound
+        )
+        results.append((time_bound, result))
+    print("Table 1 — DE benchmark, minimal square chip per deadline (MinA&FindS)")
+    print(table1_report(results, TABLE_1))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    graph = codec_task_graph()
+    start = time.monotonic()
+    outcome = minimize_latency(graph, square_chip(64))
+    elapsed = time.monotonic() - start
+    smaller = place(graph, square_chip(63), time_bound=TABLE_2["latency"] * 4)
+    print("Table 2 — video codec (H.261), minimal latency on the smallest chip")
+    print(
+        format_table(
+            ["chip", "h_t (ours)", "CPU (ours)", "h_t (paper)", "CPU (paper)"],
+            [
+                [
+                    "64x64",
+                    outcome.optimum,
+                    f"{elapsed:.3f}s",
+                    TABLE_2["latency"],
+                    f"{TABLE_2['paper_cpu_seconds']}s",
+                ]
+            ],
+        )
+    )
+    print(f"chips below 64x64: {smaller.status} ({smaller.certificate})")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    graph = de_task_graph()
+    with_prec = explore_tradeoffs(graph, with_dependencies=True)
+    without_prec = explore_tradeoffs(graph, with_dependencies=False)
+    print("Figure 7 — DE benchmark, area/latency trade-off")
+    print(pareto_report(with_prec, "with precedence constraints, solid"))
+    print()
+    print(pareto_report(without_prec, "without precedence constraints, dashed"))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    with open(args.instance, "r", encoding="utf-8") as handle:
+        instance = instance_from_dict(loads(handle.read()))
+    options = SolverOptions(time_limit=args.time_limit)
+    result = solve_opp(instance, options)
+    print(f"status: {result.status} (stage: {result.stage})")
+    if result.certificate:
+        print(f"certificate: {result.certificate}")
+    if result.placement is not None:
+        for i, pos in enumerate(result.placement.positions):
+            print(f"  {instance.boxes[i]}: anchor {pos}")
+    return 0 if result.status != "unknown" else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run the complete reproduction and print one consolidated record."""
+    print("=" * 72)
+    print("Reproduction report — Fekete/Köhler/Teich, DATE 2001")
+    print("=" * 72)
+    print()
+    _cmd_table1(args)
+    print()
+    _cmd_fig7(args)
+    print()
+    _cmd_table2(args)
+    print()
+    print("Extensions (beyond the paper)")
+    print("-" * 29)
+    from .core.bmp import minimize_area
+
+    graph = de_task_graph()
+    start = time.monotonic()
+    area = minimize_area(graph.boxes(), graph.dependency_dag(), time_bound=6)
+    print(
+        f"free-aspect DE chip at h_t=6: {area.width}x{area.height} "
+        f"({area.area} cells vs 1024 for the square optimum; "
+        f"{time.monotonic() - start:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    graph = de_task_graph()
+    outcome = place(graph, square_chip(32), time_bound=6)
+    if not outcome.is_feasible or outcome.schedule is None:
+        print("demo placement unexpectedly failed", file=sys.stderr)
+        return 1
+    schedule = outcome.schedule
+    print(schedule)
+    print()
+    print(schedule.table())
+    print()
+    print(schedule.gantt())
+    print()
+    print(schedule.floorplan(0, max_cells=32))
+    return 0
+
+
+def _load_graph(spec: str):
+    """Load a task graph from a JSON file or a ``@name`` builtin."""
+    if spec.startswith("@"):
+        name = spec[1:]
+        if name == "de":
+            return de_task_graph()
+        if name == "codec":
+            return codec_task_graph()
+        if name.startswith("fir"):
+            from .instances.dsp import fir_filter_task_graph
+
+            return fir_filter_task_graph(int(name[3:]))
+        if name.startswith("fft"):
+            from .instances.dsp import fft_task_graph
+
+            return fft_task_graph(int(name[3:]))
+        raise SystemExit(f"unknown builtin graph {spec!r}")
+    from .io.serialize import task_graph_from_dict
+
+    with open(spec, "r", encoding="utf-8") as handle:
+        return task_graph_from_dict(loads(handle.read()))
+
+
+def _cmd_bmp(args: argparse.Namespace) -> int:
+    from .fpga import minimize_chip
+
+    graph = _load_graph(args.graph)
+    outcome = minimize_chip(
+        graph, args.time, options=SolverOptions(time_limit=args.time_limit)
+    )
+    print(f"{graph}: deadline {args.time}")
+    if outcome.status != "optimal":
+        print(f"status: {outcome.status}")
+        return 1
+    print(f"minimal square chip: {outcome.optimum}x{outcome.optimum}")
+    if args.show_schedule and outcome.schedule is not None:
+        print(outcome.schedule.table())
+    return 0
+
+
+def _cmd_spp(args: argparse.Namespace) -> int:
+    from .fpga import Chip, minimize_latency
+
+    graph = _load_graph(args.graph)
+    chip = Chip(args.width, args.height or args.width)
+    outcome = minimize_latency(
+        graph, chip, options=SolverOptions(time_limit=args.time_limit)
+    )
+    print(f"{graph}: chip {chip}")
+    if outcome.status != "optimal":
+        print(f"status: {outcome.status}")
+        return 1
+    print(f"minimal latency: {outcome.optimum} cycles")
+    if args.show_schedule and outcome.schedule is not None:
+        print(outcome.schedule.gantt())
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from .core.bmp import minimize_area
+
+    graph = _load_graph(args.graph)
+    result = minimize_area(
+        graph.boxes(),
+        graph.dependency_dag() if graph.arcs() else None,
+        time_bound=args.time,
+        options=SolverOptions(time_limit=args.time_limit),
+    )
+    print(f"{graph}: deadline {args.time}")
+    if result.status != "optimal":
+        print(f"status: {result.status}")
+        return 1
+    print(
+        f"minimal chip: {result.width}x{result.height} "
+        f"({result.area} cells)"
+    )
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    front = explore_tradeoffs(
+        graph,
+        with_dependencies=not args.ignore_dependencies,
+        options=SolverOptions(time_limit=args.time_limit),
+    )
+    print(pareto_report(front, str(graph)))
+    return 0
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from .fpga import Chip
+    from .io.svg import schedule_floorplan_svg, schedule_gantt_svg
+
+    graph = _load_graph(args.graph)
+    chip = Chip(args.width, args.height or args.width)
+    outcome = place(graph, chip, args.time)
+    if not outcome.is_feasible or outcome.schedule is None:
+        print(f"status: {outcome.status} ({outcome.certificate})")
+        return 1
+    gantt_path = f"{args.output}_gantt.svg"
+    floorplan_path = f"{args.output}_floorplan.svg"
+    with open(gantt_path, "w", encoding="utf-8") as handle:
+        handle.write(schedule_gantt_svg(outcome.schedule))
+    with open(floorplan_path, "w", encoding="utf-8") as handle:
+        handle.write(schedule_floorplan_svg(outcome.schedule))
+    print(f"wrote {gantt_path} and {floorplan_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description=(
+            "Optimal FPGA module placement with temporal precedence "
+            "constraints (Fekete-Koehler-Teich, DATE 2001)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="reproduce Table 1 (DE benchmark BMP)")
+    sub.add_parser("table2", help="reproduce Table 2 (video codec)")
+    sub.add_parser("fig7", help="reproduce Figure 7 (Pareto fronts)")
+    solve = sub.add_parser("solve", help="decide a JSON packing instance")
+    solve.add_argument("instance", help="path to a JSON instance file")
+    solve.add_argument(
+        "--time-limit", type=float, default=None, help="seconds before giving up"
+    )
+    sub.add_parser("demo", help="small end-to-end placement demo")
+    sub.add_parser("report", help="run the complete reproduction record")
+
+    def graph_command(name: str, help_text: str):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "graph", help="task-graph JSON path or a builtin (@de, @codec, @fir8, @fft8)"
+        )
+        cmd.add_argument(
+            "--time-limit", type=float, default=None,
+            help="per-OPP seconds before giving up",
+        )
+        return cmd
+
+    bmp = graph_command("bmp", "minimal square chip for a deadline (MinA&FindS)")
+    bmp.add_argument("--time", type=int, required=True, help="latency bound h_t")
+    bmp.add_argument("--show-schedule", action="store_true")
+
+    spp = graph_command("spp", "minimal latency on a chip (MinT&FindS)")
+    spp.add_argument("--width", type=int, required=True, help="chip width")
+    spp.add_argument("--height", type=int, default=None, help="chip height (default: square)")
+    spp.add_argument("--show-schedule", action="store_true")
+
+    area = graph_command("area", "minimal free-aspect chip for a deadline")
+    area.add_argument("--time", type=int, required=True, help="latency bound h_t")
+
+    pareto = graph_command("pareto", "chip-size/latency Pareto front")
+    pareto.add_argument(
+        "--ignore-dependencies", action="store_true",
+        help="drop the precedence constraints (Fig. 7's dashed curve)",
+    )
+
+    svg = graph_command("svg", "render SVG Gantt chart + floorplans")
+    svg.add_argument("--width", type=int, required=True)
+    svg.add_argument("--height", type=int, default=None)
+    svg.add_argument("--time", type=int, required=True)
+    svg.add_argument("--output", default="schedule", help="output file prefix")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "fig7": _cmd_fig7,
+        "solve": _cmd_solve,
+        "demo": _cmd_demo,
+        "report": _cmd_report,
+        "bmp": _cmd_bmp,
+        "spp": _cmd_spp,
+        "area": _cmd_area,
+        "pareto": _cmd_pareto,
+        "svg": _cmd_svg,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""Base Minimization Problem (BMP) — the paper's *MinA&FindS*.
+
+Find the smallest square chip ``h_x = h_y = s`` on which the task set can be
+completed within a fixed time bound ``h_t`` (together with a feasible
+schedule).  Since feasibility is monotone in the chip size, a binary search
+over OPP decisions solves the problem exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..graphs.digraph import DiGraph
+from .boxes import Box, Container, PackingInstance, Placement
+from .opp import OPPResult, SolverOptions, solve_opp
+
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class Probe:
+    """One OPP decision made during an optimization run."""
+
+    value: int
+    status: str
+    seconds: float
+    stage: str
+    nodes: int
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a BMP/SPP run.
+
+    ``status`` is ``"optimal"`` (with ``optimum`` and a validated
+    ``placement``), ``"infeasible"`` (no value can ever work), or
+    ``"unknown"`` (some probe hit a solver limit; ``lower`` / ``upper``
+    bracket the optimum as far as it is known).
+    """
+
+    status: str
+    optimum: Optional[int] = None
+    placement: Optional[Placement] = None
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+    probes: List[Probe] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.probes)
+
+
+def _square_instance(
+    boxes: List[Box],
+    precedence: Optional[DiGraph],
+    side: int,
+    time_bound: int,
+) -> PackingInstance:
+    return PackingInstance(
+        list(boxes), Container((side, side, time_bound)), precedence
+    )
+
+
+def base_lower_bound(boxes: List[Box], time_bound: int) -> int:
+    """A valid lower bound on the square chip side for the given deadline:
+    the largest spatial width of any box, and the volume argument
+    ``s^2 · h_t ≥ Σ volumes``."""
+    widest = max((max(b.widths[0], b.widths[1]) for b in boxes), default=1)
+    total = sum(b.volume for b in boxes)
+    by_volume = math.isqrt(max(0, (total + time_bound - 1) // time_bound))
+    while by_volume * by_volume * time_bound < total:
+        by_volume += 1
+    return max(1, widest, by_volume)
+
+
+def minimize_area(
+    boxes: List[Box],
+    precedence: Optional[DiGraph] = None,
+    time_bound: int = 1,
+    options: Optional[SolverOptions] = None,
+) -> "AreaResult":
+    """Free-aspect chip minimization: the rectangle ``w × h`` of smallest
+    *area* (ties broken toward square) accommodating the tasks within the
+    deadline.
+
+    The paper's BMP fixes ``h_x = h_y``; this generalization sweeps the
+    width over its feasible range and binary-searches the minimal height
+    for each width (feasibility is monotone in the height for fixed width),
+    pruning widths whose best conceivable area cannot beat the incumbent.
+    """
+    result = AreaResult(status=UNKNOWN)
+    if not boxes:
+        result.status = OPTIMAL
+        result.width = result.height = 0
+        return result
+    if any(b.widths[-1] > time_bound for b in boxes):
+        result.status = INFEASIBLE
+        return result
+    if precedence is not None:
+        durations = [float(b.widths[-1]) for b in boxes]
+        if precedence.critical_path_length(durations) > time_bound:
+            result.status = INFEASIBLE
+            return result
+
+    min_width = max(b.widths[0] for b in boxes)
+    min_height = max(b.widths[1] for b in boxes)
+    max_width = sum(b.widths[0] for b in boxes)
+    total = sum(b.volume for b in boxes)
+    area_floor = -(-total // time_bound)  # ceil(volume / deadline)
+
+    def probe(width: int, height: int) -> OPPResult:
+        instance = PackingInstance(
+            list(boxes), Container((width, height, time_bound)), precedence
+        )
+        start = time.monotonic()
+        opp = solve_opp(instance, options)
+        result.probes.append(
+            Probe(
+                value=width * height,
+                status=opp.status,
+                seconds=time.monotonic() - start,
+                stage=opp.stage,
+                nodes=opp.stats.nodes,
+            )
+        )
+        return opp
+
+    best: Optional[Tuple[int, int, int, Placement]] = None  # (area, w, h, pl)
+    inconclusive = False
+    for width in range(min_width, max_width + 1):
+        if best is not None and width * min_height >= best[0]:
+            break  # every taller chip at this or larger width loses
+        lowest_height = max(min_height, -(-area_floor // width))
+        if best is not None and width * lowest_height >= best[0]:
+            continue
+        lo, hi = lowest_height, None
+        # Find a feasible height by doubling.
+        h = max(lowest_height, min_height)
+        cap = sum(b.widths[1] for b in boxes)
+        while h <= cap:
+            if best is not None and width * h >= best[0]:
+                break
+            opp = probe(width, h)
+            if opp.status == "sat":
+                hi = h
+                break
+            if opp.status == "unknown":
+                inconclusive = True
+                break
+            lo = h + 1
+            h = min(max(h + 1, h * 2), cap) if h < cap else cap + 1
+        if hi is None:
+            continue
+        sat_placement = opp.placement
+        while lo < hi:
+            mid = (lo + hi) // 2
+            opp = probe(width, mid)
+            if opp.status == "sat":
+                hi, sat_placement = mid, opp.placement
+            elif opp.status == "unsat":
+                lo = mid + 1
+            else:
+                inconclusive = True
+                break
+        area = width * hi
+        if best is None or area < best[0] or (
+            area == best[0] and abs(width - hi) < abs(best[1] - best[2])
+        ):
+            best = (area, width, hi, sat_placement)
+    if best is None:
+        result.status = UNKNOWN if inconclusive else INFEASIBLE
+        return result
+    result.status = OPTIMAL if not inconclusive else UNKNOWN
+    result.area, result.width, result.height = best[0], best[1], best[2]
+    result.placement = best[3]
+    return result
+
+
+@dataclass
+class AreaResult:
+    """Outcome of free-aspect area minimization."""
+
+    status: str
+    area: Optional[int] = None
+    width: Optional[int] = None
+    height: Optional[int] = None
+    placement: Optional[Placement] = None
+    probes: List[Probe] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.probes)
+
+
+def minimize_base(
+    boxes: List[Box],
+    precedence: Optional[DiGraph] = None,
+    time_bound: int = 1,
+    options: Optional[SolverOptions] = None,
+    max_side: Optional[int] = None,
+) -> OptimizationResult:
+    """Solve MinA&FindS: the minimal square chip for deadline ``time_bound``.
+
+    ``max_side`` caps the search (default: enough to place all boxes side by
+    side, which is always sufficient when the deadline admits any schedule).
+    """
+    if not boxes:
+        return OptimizationResult(status=OPTIMAL, optimum=0, placement=None)
+    result = OptimizationResult(status=UNKNOWN)
+
+    # Quick infeasibility independent of chip size: the critical path.
+    if precedence is not None:
+        durations = [float(b.widths[-1]) for b in boxes]
+        if precedence.critical_path_length(durations) > time_bound:
+            result.status = INFEASIBLE
+            return result
+    if any(b.widths[-1] > time_bound for b in boxes):
+        result.status = INFEASIBLE
+        return result
+
+    low = base_lower_bound(boxes, time_bound)
+    if max_side is None:
+        max_side = max(low, sum(max(b.widths[0], b.widths[1]) for b in boxes))
+
+    def probe(side: int) -> OPPResult:
+        instance = _square_instance(boxes, precedence, side, time_bound)
+        start = time.monotonic()
+        opp = solve_opp(instance, options)
+        result.probes.append(
+            Probe(
+                value=side,
+                status=opp.status,
+                seconds=time.monotonic() - start,
+                stage=opp.stage,
+                nodes=opp.stats.nodes,
+            )
+        )
+        return opp
+
+    # Find a feasible upper bound by doubling from the lower bound.
+    upper: Optional[int] = None
+    upper_placement: Optional[Placement] = None
+    last_unsat = low - 1
+    side = low
+    while side <= max_side:
+        opp = probe(side)
+        if opp.status == "sat":
+            upper, upper_placement = side, opp.placement
+            break
+        if opp.status == "unknown":
+            result.lower = last_unsat + 1
+            return result
+        last_unsat = side
+        side = max(side + 1, min(side * 2, max_side)) if side < max_side else max_side + 1
+    if upper is None:
+        result.status = INFEASIBLE
+        result.lower = max_side + 1
+        return result
+
+    # Binary search in (last_unsat, upper].
+    lo, hi = last_unsat + 1, upper
+    while lo < hi:
+        mid = (lo + hi) // 2
+        opp = probe(mid)
+        if opp.status == "sat":
+            hi, upper_placement = mid, opp.placement
+        elif opp.status == "unsat":
+            lo = mid + 1
+        else:
+            result.lower, result.upper = lo, hi
+            return result
+    result.status = OPTIMAL
+    result.optimum = hi
+    result.lower = result.upper = hi
+    result.placement = upper_placement
+    return result

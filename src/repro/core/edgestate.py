@@ -1,0 +1,580 @@
+"""Edge states, packing-class conditions, and implication propagation.
+
+The branch-and-bound of the paper does not search over geometric positions;
+it searches over *edge states*.  For every unordered pair of boxes and every
+dimension, the pair is either
+
+* ``UNDECIDED`` — not yet fixed,
+* ``COMPONENT`` — an edge of the component graph ``G_i`` (the projections
+  onto axis ``i`` overlap), or
+* ``COMPARABILITY`` — an edge of the complement ``Ḡ_i`` (the projections
+  are disjoint; one box is entirely "before" the other on axis ``i``).
+
+Comparability edges along the *time* axis additionally carry an orientation
+(who comes first), seeded by the precedence constraints and propagated with
+the paper's two implication rules (Fig. 6):
+
+* **D1, path implication** — comparability edges ``{a,b}``, ``{a,c}`` with
+  ``{b,c}`` a component edge: ``a→b`` forces ``a→c`` and ``b→a`` forces
+  ``c→a``.
+* **D2, transitivity implication** — ``a→b`` and ``b→c`` force ``{a,c}`` to
+  be a comparability edge oriented ``a→c`` (a *transitivity conflict* if
+  ``{a,c}`` is a component edge).
+
+The propagation engine below maintains all of this incrementally with a
+trail for O(1) backtracking, and enforces the packing-class conditions:
+
+* **C3** — a pair ``COMPONENT`` in all ``d`` dimensions is a conflict; in
+  ``d−1`` dimensions it forces ``COMPARABILITY`` in the remaining one.
+* **C2 (hereditary form)** — a clique of fixed comparability edges in
+  dimension ``i`` whose total width exceeds the container size ``x_i``
+  ("infeasible stable set" of ``G_i``) is a conflict.
+* **C1 filters** — completed induced 4-cycles of component edges (interval
+  graphs are chordal) and completed 5-vertex odd-cycle obstructions
+  (comparability ``C5`` = induced ``C5`` in ``G_i``) are conflicts; patterns
+  one edge short force that edge.  These filters are *necessary-condition*
+  pruning; exact interval-graph verification happens at the leaves
+  (see :mod:`repro.core.search`), keeping the solver complete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..graphs.cliques import max_weight_clique_containing
+from ..graphs.graph import Graph
+from .boxes import PackingInstance
+
+UNDECIDED = 0
+COMPONENT = 1
+COMPARABILITY = 2
+
+STATE_NAMES = {UNDECIDED: "undecided", COMPONENT: "component", COMPARABILITY: "comparability"}
+
+
+class Conflict(Exception):
+    """A propagation step proved the current partial assignment infeasible."""
+
+
+@dataclass
+class PropagationOptions:
+    """Switches for the individual propagation rules (ablation knobs).
+
+    Disabling a rule never affects correctness — exact leaf verification
+    backs every filter — only the size of the search tree.
+    """
+
+    check_c4: bool = True
+    check_c2: bool = True
+    check_c5: bool = True
+    check_area: bool = True
+    implications: bool = True
+    symmetry_breaking: bool = True
+
+
+@dataclass
+class PropagationStats:
+    state_assignments: int = 0
+    arc_assignments: int = 0
+    conflicts: int = 0
+    forced_states: int = 0
+    forced_arcs: int = 0
+    c2_clique_checks: int = 0
+
+
+class EdgeStateModel:
+    """Mutable search state: per-dimension edge states plus orientations.
+
+    All mutations go through :meth:`assign_state` / :meth:`assign_arc`, are
+    recorded on a trail, and trigger propagation.  :meth:`mark` /
+    :meth:`rollback` implement chronological backtracking.
+    """
+
+    def __init__(
+        self,
+        instance: PackingInstance,
+        options: Optional[PropagationOptions] = None,
+    ) -> None:
+        self.instance = instance
+        self.options = options or PropagationOptions()
+        self.n = instance.n
+        self.d = instance.dimensions
+        self.time_axis = instance.time_axis
+        self.sizes = list(instance.container.sizes)
+        # widths[axis][box]
+        self.widths = [
+            [b.widths[axis] for b in instance.boxes] for axis in range(self.d)
+        ]
+        n = self.n
+        self.state = [
+            [[UNDECIDED] * n for _ in range(n)] for _ in range(self.d)
+        ]
+        # orient[axis][a][b] == 1 means a -> b; -1 means b -> a; 0 unknown.
+        self.orient = [
+            [[0] * n for _ in range(n)] for _ in range(self.d)
+        ]
+        # Incrementally maintained graph views (kept in sync by
+        # _set_state/rollback); the public accessors hand out copies.
+        self._component_views = [Graph(n) for _ in range(self.d)]
+        self._comparability_views = [Graph(n) for _ in range(self.d)]
+        # Cross-section weights for the Helly area rule: boxes pairwise
+        # overlapping on an axis share a coordinate there, so their
+        # cross-sections (product of the *other* widths) must fit into the
+        # container's cross-section.
+        self.cross_weights = [
+            [
+                self._product(b.widths, skip=axis)
+                for b in instance.boxes
+            ]
+            for axis in range(self.d)
+        ]
+        self.cross_capacity = [
+            self._product(instance.container.sizes, skip=axis)
+            for axis in range(self.d)
+        ]
+        self.trail: List[Tuple[str, int, int, int]] = []
+        self.queue: List[Tuple[str, int, int, int]] = []
+        self.stats = PropagationStats()
+        self.closure = instance.closed_precedence()
+        # Pairs of interchangeable boxes: canonical time orientation.
+        self.symmetric_pairs: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        if self.options.symmetry_breaking:
+            self._find_symmetric_pairs()
+
+    @staticmethod
+    def _product(values, skip: int) -> int:
+        out = 1
+        for i, v in enumerate(values):
+            if i != skip:
+                out *= v
+        return out
+
+    # -- setup ---------------------------------------------------------------
+
+    def seed(self) -> None:
+        """Initial propagation: size preprocessing, precedence arcs.
+
+        Raises :class:`Conflict` if the instance is infeasible at the root.
+        """
+        for axis in range(self.d):
+            for v in range(self.n):
+                if self.widths[axis][v] > self.sizes[axis]:
+                    raise Conflict(
+                        f"box {v} does not fit the container on axis {axis}"
+                    )
+        # Pairs too wide to sit side by side must overlap in that dimension.
+        for axis in range(self.d):
+            for u in range(self.n):
+                for v in range(u + 1, self.n):
+                    if self.widths[axis][u] + self.widths[axis][v] > self.sizes[axis]:
+                        self.assign_state(axis, u, v, COMPONENT, propagate=False)
+        if self.closure is not None:
+            for u, v in self.closure.arcs():
+                self.assign_arc(self.time_axis, u, v, propagate=False)
+        self._propagate()
+
+    def _find_symmetric_pairs(self) -> None:
+        """Group fully interchangeable boxes and pick a canonical time order.
+
+        Two boxes are interchangeable iff they have identical width vectors
+        and identical predecessor and successor sets in the precedence
+        closure (in particular, no relation between themselves).  Within a
+        group, whenever a pair becomes time-comparable we force the
+        lower-index box first — any feasible packing can be relabelled into
+        this canonical form, so the restriction is sound.
+        """
+        closure = self.closure
+        keys = []
+        for v in range(self.n):
+            preds = frozenset(closure.pred[v]) if closure is not None else frozenset()
+            succs = frozenset(closure.succ[v]) if closure is not None else frozenset()
+            keys.append((self.instance.boxes[v].widths, preds, succs))
+        for u in range(self.n):
+            for v in range(u + 1, self.n):
+                if keys[u] == keys[v]:
+                    self.symmetric_pairs[(u, v)] = (u, v)
+
+    # -- trail ----------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self.trail)
+
+    def rollback(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            kind, axis, u, v = self.trail.pop()
+            if kind == "s":
+                if self.state[axis][u][v] == COMPONENT:
+                    self._component_views[axis].remove_edge(u, v)
+                else:
+                    self._comparability_views[axis].remove_edge(u, v)
+                self.state[axis][u][v] = UNDECIDED
+                self.state[axis][v][u] = UNDECIDED
+            else:
+                self.orient[axis][u][v] = 0
+                self.orient[axis][v][u] = 0
+        self.queue.clear()
+
+    # -- assignment + propagation ---------------------------------------------
+
+    def assign_state(
+        self, axis: int, u: int, v: int, value: int, propagate: bool = True
+    ) -> None:
+        """Fix the pair's state on one axis and (optionally) propagate."""
+        if value not in (COMPONENT, COMPARABILITY):
+            raise ValueError(f"cannot assign state {value}")
+        self._set_state(axis, u, v, value)
+        if propagate:
+            self._propagate()
+
+    def assign_arc(
+        self, axis: int, a: int, b: int, propagate: bool = True
+    ) -> None:
+        """Fix orientation ``a -> b`` (implies COMPARABILITY) and propagate."""
+        self._set_arc(axis, a, b)
+        if propagate:
+            self._propagate()
+
+    def _set_state(self, axis: int, u: int, v: int, value: int) -> None:
+        cur = self.state[axis][u][v]
+        if cur == value:
+            return
+        if cur != UNDECIDED:
+            self.stats.conflicts += 1
+            raise Conflict(
+                f"pair ({u},{v}) axis {axis}: already {STATE_NAMES[cur]}, "
+                f"cannot become {STATE_NAMES[value]}"
+            )
+        self.state[axis][u][v] = value
+        self.state[axis][v][u] = value
+        if value == COMPONENT:
+            self._component_views[axis].add_edge(u, v)
+        else:
+            self._comparability_views[axis].add_edge(u, v)
+        self.trail.append(("s", axis, u, v))
+        self.stats.state_assignments += 1
+        self.queue.append(("state", axis, u, v))
+
+    def _set_arc(self, axis: int, a: int, b: int) -> None:
+        st = self.state[axis][a][b]
+        if st == COMPONENT:
+            self.stats.conflicts += 1
+            raise Conflict(
+                f"transitivity conflict: arc {a}->{b} forced on a component "
+                f"edge (axis {axis})"
+            )
+        if st == UNDECIDED:
+            self._set_state(axis, a, b, COMPARABILITY)
+        cur = self.orient[axis][a][b]
+        if cur == 1:
+            return
+        if cur == -1:
+            self.stats.conflicts += 1
+            raise Conflict(f"path conflict: edge ({a},{b}) axis {axis} forced both ways")
+        self.orient[axis][a][b] = 1
+        self.orient[axis][b][a] = -1
+        self.trail.append(("o", axis, a, b))
+        self.stats.arc_assignments += 1
+        self.queue.append(("arc", axis, a, b))
+
+    def propagate(self) -> None:
+        """Drain the propagation queue; raises :class:`Conflict` on failure."""
+        self._propagate()
+
+    def _propagate(self) -> None:
+        try:
+            while self.queue:
+                kind, axis, u, v = self.queue.pop()
+                if kind == "state":
+                    if self.state[axis][u][v] == COMPONENT:
+                        self._after_component(axis, u, v)
+                    else:
+                        self._after_comparability(axis, u, v)
+                else:
+                    self._after_arc(axis, u, v)
+        except Conflict:
+            self.queue.clear()
+            raise
+
+    # -- rule implementations ---------------------------------------------------
+
+    def _after_component(self, axis: int, u: int, v: int) -> None:
+        self._check_c3(u, v)
+        if self.options.check_area:
+            self._check_area(axis, u, v)
+        if self.options.check_c4:
+            self._check_c4_patterns(axis, u, v)
+        if self.options.check_c5:
+            self._check_c5_patterns(axis, u, v)
+        if self.options.implications:
+            # New component edge {u, v} can serve as the {b, c} of a path
+            # implication: oriented comparability edges from a common pivot.
+            state, orient = self.state[axis], self.orient[axis]
+            for a in range(self.n):
+                if a == u or a == v:
+                    continue
+                if state[a][u] == COMPARABILITY and state[a][v] == COMPARABILITY:
+                    if orient[a][u] == 1 or orient[a][v] == 1:
+                        self._force_arc(axis, a, u)
+                        self._force_arc(axis, a, v)
+                    elif orient[a][u] == -1 or orient[a][v] == -1:
+                        self._force_arc(axis, u, a)
+                        self._force_arc(axis, v, a)
+
+    def _after_comparability(self, axis: int, u: int, v: int) -> None:
+        if self.options.check_c2:
+            self._check_c2(axis, u, v)
+        if self.options.check_c4:
+            self._check_c4_patterns(axis, u, v)
+        if self.options.check_c5:
+            self._check_c5_patterns(axis, u, v)
+        if (
+            axis == self.time_axis
+            and self.options.symmetry_breaking
+            and (min(u, v), max(u, v)) in self.symmetric_pairs
+        ):
+            a, b = self.symmetric_pairs[(min(u, v), max(u, v))]
+            self._force_arc(axis, a, b)
+        if self.options.implications:
+            # New comparability edge {u, v} can be the *unoriented* edge of a
+            # path implication whose partner is already oriented.
+            state, orient = self.state[axis], self.orient[axis]
+            for w in range(self.n):
+                if w == u or w == v:
+                    continue
+                if state[u][w] == COMPARABILITY and state[v][w] == COMPONENT:
+                    if orient[u][w] == 1:
+                        self._force_arc(axis, u, v)
+                    elif orient[u][w] == -1:
+                        self._force_arc(axis, v, u)
+                if state[v][w] == COMPARABILITY and state[u][w] == COMPONENT:
+                    if orient[v][w] == 1:
+                        self._force_arc(axis, v, u)
+                    elif orient[v][w] == -1:
+                        self._force_arc(axis, u, v)
+
+    def _after_arc(self, axis: int, a: int, b: int) -> None:
+        if not self.options.implications:
+            return
+        state, orient = self.state[axis], self.orient[axis]
+        for c in range(self.n):
+            if c == a or c == b:
+                continue
+            # D1 with pivot a: {a,b}, {a,c} comparability, {b,c} component.
+            if state[a][c] == COMPARABILITY and state[b][c] == COMPONENT:
+                self._force_arc(axis, a, c)
+            # D1 with pivot b: {a,b}, {b,c} comparability, {a,c} component.
+            if state[b][c] == COMPARABILITY and state[a][c] == COMPONENT:
+                self._force_arc(axis, c, b)
+            # D2: c->a->b forces c->b; a->b->c forces a->c.
+            if orient[c][a] == 1:
+                self._force_arc(axis, c, b)
+            if orient[b][c] == 1:
+                self._force_arc(axis, a, c)
+
+    def _force_arc(self, axis: int, a: int, b: int) -> None:
+        if self.orient[axis][a][b] != 1:
+            self.stats.forced_arcs += 1
+        self._set_arc(axis, a, b)
+
+    def _force_state(self, axis: int, u: int, v: int, value: int) -> None:
+        if self.state[axis][u][v] != value:
+            self.stats.forced_states += 1
+        self._set_state(axis, u, v, value)
+
+    def _check_c3(self, u: int, v: int) -> None:
+        undecided_axis = -1
+        component_count = 0
+        for axis in range(self.d):
+            st = self.state[axis][u][v]
+            if st == COMPONENT:
+                component_count += 1
+            elif st == COMPARABILITY:
+                return  # C3 satisfied for this pair
+            else:
+                undecided_axis = axis
+        if component_count == self.d:
+            self.stats.conflicts += 1
+            raise Conflict(f"C3 violated: pair ({u},{v}) overlaps in all dimensions")
+        if component_count == self.d - 1 and undecided_axis >= 0:
+            self._force_state(undecided_axis, u, v, COMPARABILITY)
+
+    def _check_c2(self, axis: int, u: int, v: int) -> None:
+        """Infeasible stable set check: the heaviest clique of fixed
+        comparability edges through {u, v} must fit in the container."""
+        self.stats.c2_clique_checks += 1
+        graph = self._comparability_views[axis]
+        weight, members = max_weight_clique_containing(
+            graph, self.widths[axis], [u, v]
+        )
+        if weight > self.sizes[axis]:
+            self.stats.conflicts += 1
+            raise Conflict(
+                f"C2 violated on axis {axis}: chain {members} needs width "
+                f"{weight} > {self.sizes[axis]}"
+            )
+
+    def _check_area(self, axis: int, u: int, v: int) -> None:
+        """Helly cross-section rule: intervals pairwise overlapping on one
+        axis share a common coordinate, so any clique of component edges
+        must fit its combined cross-section into the container's."""
+        graph = self._component_views[axis]
+        weight, members = max_weight_clique_containing(
+            graph, self.cross_weights[axis], [u, v]
+        )
+        if weight > self.cross_capacity[axis]:
+            self.stats.conflicts += 1
+            raise Conflict(
+                f"cross-section overflow on axis {axis}: boxes {members} "
+                f"coexist with total cross-section {weight} > "
+                f"{self.cross_capacity[axis]}"
+            )
+
+    def _check_c4_patterns(self, axis: int, u: int, v: int) -> None:
+        """Forbid induced 4-cycles of component edges (chordality filter).
+
+        For every 4-set containing the changed pair, three cycle/diagonal
+        patterns exist.  A fully fixed pattern is a conflict; a pattern one
+        edge short forces that edge to break the pattern.
+        """
+        others = [w for w in range(self.n) if w != u and w != v]
+        for i_x in range(len(others)):
+            for i_y in range(i_x + 1, len(others)):
+                x, y = others[i_x], others[i_y]
+                # Pattern A: diagonals (u,v), (x,y); cycle u-x-v-y.
+                self._check_one_c4(
+                    axis,
+                    cycle=[(u, x), (x, v), (v, y), (y, u)],
+                    diagonals=[(u, v), (x, y)],
+                )
+                # Pattern B: diagonals (u,x), (v,y); cycle u-v-x-y.
+                self._check_one_c4(
+                    axis,
+                    cycle=[(u, v), (v, x), (x, y), (y, u)],
+                    diagonals=[(u, x), (v, y)],
+                )
+                # Pattern C: diagonals (u,y), (v,x); cycle u-v-y-x.
+                self._check_one_c4(
+                    axis,
+                    cycle=[(u, v), (v, y), (y, x), (x, u)],
+                    diagonals=[(u, y), (v, x)],
+                )
+
+    def _check_one_c4(
+        self,
+        axis: int,
+        cycle: List[Tuple[int, int]],
+        diagonals: List[Tuple[int, int]],
+    ) -> None:
+        state = self.state[axis]
+        undecided: List[Tuple[int, int, int]] = []  # (u, v, required_state)
+        for a, b in cycle:
+            st = state[a][b]
+            if st == COMPARABILITY:
+                return  # pattern broken
+            if st == UNDECIDED:
+                undecided.append((a, b, COMPONENT))
+                if len(undecided) > 1:
+                    return
+        for a, b in diagonals:
+            st = state[a][b]
+            if st == COMPONENT:
+                return  # pattern broken
+            if st == UNDECIDED:
+                undecided.append((a, b, COMPARABILITY))
+                if len(undecided) > 1:
+                    return
+        if not undecided:
+            self.stats.conflicts += 1
+            raise Conflict(f"induced C4 of component edges on axis {axis}")
+        a, b, required = undecided[0]
+        # Force the opposite of what the forbidden pattern requires.
+        opposite = COMPARABILITY if required == COMPONENT else COMPONENT
+        self._force_state(axis, a, b, opposite)
+
+    def _check_c5_patterns(self, axis: int, u: int, v: int) -> None:
+        """Detect completed 5-vertex obstructions.
+
+        A 2-chordless odd 5-cycle in the comparability graph is, on five
+        vertices, exactly an induced C5 of comparability edges whose
+        complement (also a C5) consists of component edges — equivalently an
+        induced chordless C5 in the component graph.  Detection only (no
+        forcing); patterns on more vertices are left to leaf verification.
+        """
+        state = self.state[axis]
+        others = [w for w in range(self.n) if w != u and w != v]
+        for triple in itertools.combinations(others, 3):
+            group = [u, v, *triple]
+            comp_deg = {w: 0 for w in group}
+            decided = True
+            comparability_edges = []
+            for a, b in itertools.combinations(group, 2):
+                st = state[a][b]
+                if st == UNDECIDED:
+                    decided = False
+                    break
+                if st == COMPARABILITY:
+                    comp_deg[a] += 1
+                    comp_deg[b] += 1
+                    comparability_edges.append((a, b))
+            if not decided or len(comparability_edges) != 5:
+                continue
+            if any(deg != 2 for deg in comp_deg.values()):
+                continue
+            if self._is_single_cycle(group, comparability_edges):
+                self.stats.conflicts += 1
+                raise Conflict(
+                    f"odd-cycle obstruction (C5) on axis {axis}: {sorted(group)}"
+                )
+
+    @staticmethod
+    def _is_single_cycle(group: List[int], edges: List[Tuple[int, int]]) -> bool:
+        adj = {w: [] for w in group}
+        for a, b in edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        start = group[0]
+        seen = {start}
+        prev, cur = None, start
+        for _ in range(len(group)):
+            nxt = [w for w in adj[cur] if w != prev]
+            if not nxt:
+                return False
+            prev, cur = cur, nxt[0]
+            if cur == start:
+                break
+            seen.add(cur)
+        return cur == start and len(seen) == len(group)
+
+    # -- views -------------------------------------------------------------------
+
+    def component_graph(self, axis: int) -> Graph:
+        """The graph of fixed COMPONENT edges on one axis (a copy)."""
+        return self._component_views[axis].copy()
+
+    def comparability_graph(self, axis: int) -> Graph:
+        """The graph of fixed COMPARABILITY edges on one axis (a copy)."""
+        return self._comparability_views[axis].copy()
+
+    def oriented_arcs(self, axis: int) -> List[Tuple[int, int]]:
+        """All fixed arc orientations on one axis."""
+        out = []
+        orient = self.orient[axis]
+        for a in range(self.n):
+            for b in range(self.n):
+                if orient[a][b] == 1:
+                    out.append((a, b))
+        return out
+
+    def undecided(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over undecided (axis, u, v) triples."""
+        for axis in range(self.d):
+            state = self.state[axis]
+            for u in range(self.n):
+                for v in range(u + 1, self.n):
+                    if state[u][v] == UNDECIDED:
+                        yield (axis, u, v)
+
+    def is_complete(self) -> bool:
+        return next(self.undecided(), None) is None

@@ -1,0 +1,168 @@
+"""First-class packing classes (Section 3.2 of the paper).
+
+A *packing class* is a ``d``-tuple of component graphs satisfying C1–C3;
+it represents a whole family of equivalent packings ("the reader may check
+that there are 36 different feasible packings that correspond to the same
+packing class" — Section 3.3).  This module provides the explicit object:
+verification of the three conditions, conversion to placements, counting
+and enumeration of the transitive orientations behind the equivalence
+family, and construction from a placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..graphs.comparability import (
+    OrientationConflict,
+    _Orienter,
+    extend_transitive_orientation,
+)
+from ..graphs.graph import Graph
+from ..graphs.interval import is_interval_graph
+from ..graphs.cliques import max_weight_stable_set_interval
+from .boxes import PackingInstance, Placement
+from .placement import (
+    component_graphs_of_placement,
+    placement_from_orientations,
+)
+
+Arc = Tuple[int, int]
+
+
+@dataclass
+class ConditionReport:
+    """Outcome of checking C1–C3 for a candidate tuple of graphs."""
+
+    c1_interval: List[bool]
+    c2_admissible: List[bool]
+    c3_separated: bool
+
+    @property
+    def is_packing_class(self) -> bool:
+        return all(self.c1_interval) and all(self.c2_admissible) and self.c3_separated
+
+
+class PackingClass:
+    """A tuple of component graphs for a packing instance."""
+
+    def __init__(self, instance: PackingInstance, graphs: Sequence[Graph]) -> None:
+        if len(graphs) != instance.dimensions:
+            raise ValueError("one component graph per dimension required")
+        for g in graphs:
+            if g.n != instance.n:
+                raise ValueError("component graphs must cover every box")
+        self.instance = instance
+        self.graphs = list(graphs)
+
+    @classmethod
+    def from_placement(cls, placement: Placement) -> "PackingClass":
+        """Project a feasible placement to its packing class (Theorem 1,
+        necessity direction)."""
+        return cls(placement.instance, component_graphs_of_placement(placement))
+
+    # -- the three conditions -------------------------------------------------
+
+    def check_conditions(self) -> ConditionReport:
+        """Verify C1 (interval graphs), C2 (stable sets fit), C3 (pairs
+        separated somewhere), exactly."""
+        inst = self.instance
+        c1 = [is_interval_graph(g) for g in self.graphs]
+        c2 = []
+        for axis, g in enumerate(self.graphs):
+            if not c1[axis]:
+                c2.append(False)
+                continue
+            weight, _ = max_weight_stable_set_interval(
+                g, inst.widths_along(axis)
+            )
+            c2.append(weight <= inst.container.sizes[axis])
+        c3 = True
+        for u in range(inst.n):
+            for v in range(u + 1, inst.n):
+                if all(g.has_edge(u, v) for g in self.graphs):
+                    c3 = False
+        return ConditionReport(c1_interval=c1, c2_admissible=c2, c3_separated=c3)
+
+    def is_valid(self) -> bool:
+        return self.check_conditions().is_packing_class
+
+    # -- the equivalence family -------------------------------------------------
+
+    def orientations(self, axis: int) -> Iterator[List[Arc]]:
+        """Enumerate all transitive orientations of the axis' comparability
+        graph (the complement of the component graph)."""
+        comparability = self.graphs[axis].complement()
+        yield from _enumerate_transitive_orientations(comparability)
+
+    def count_orientations(self, axis: int) -> int:
+        """Number of transitive orientations on one axis."""
+        return sum(1 for _ in self.orientations(axis))
+
+    def count_equivalent_packings(self) -> int:
+        """Size of the represented packing family: the product over the
+        axes of the number of transitive orientations (each combination
+        yields a distinct normalized packing — the paper's "36" example)."""
+        total = 1
+        for axis in range(self.instance.dimensions):
+            total *= self.count_orientations(axis)
+        return total
+
+    def placements(self, limit: Optional[int] = None) -> Iterator[Placement]:
+        """Enumerate (up to ``limit``) normalized placements of the family."""
+        produced = 0
+
+        def rec(axis: int, chosen: List[List[Arc]]) -> Iterator[Placement]:
+            nonlocal produced
+            if axis == self.instance.dimensions:
+                yield placement_from_orientations(self.instance, chosen)
+                return
+            for arcs in self.orientations(axis):
+                yield from rec(axis + 1, chosen + [arcs])
+
+        for placement in rec(0, []):
+            yield placement
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def to_placement(
+        self, forced_time_arcs: Sequence[Arc] = ()
+    ) -> Optional[Placement]:
+        """One concrete placement (respecting forced time-axis arcs), or
+        ``None`` if the time orientation cannot extend the forced arcs."""
+        orientations: List[List[Arc]] = []
+        for axis in range(self.instance.dimensions):
+            forced = list(forced_time_arcs) if axis == self.instance.time_axis else []
+            arcs = extend_transitive_orientation(
+                self.graphs[axis].complement(), forced
+            )
+            if arcs is None:
+                return None
+            orientations.append(arcs)
+        return placement_from_orientations(self.instance, orientations)
+
+
+def _enumerate_transitive_orientations(graph: Graph) -> Iterator[List[Arc]]:
+    """All transitive orientations of a graph via propagation + DFS.
+
+    Yields nothing if the graph is not a comparability graph.
+    """
+    orienter = _Orienter(graph)
+
+    def rec() -> Iterator[List[Arc]]:
+        remaining = orienter.unoriented_edges()
+        if not remaining:
+            yield list(orienter.arcs())
+            return
+        u, v = remaining[0]
+        for a, b in ((u, v), (v, u)):
+            try:
+                assigned = orienter.assign(a, b)
+            except OrientationConflict:
+                continue
+            yield from rec()
+            orienter.undo(assigned)
+
+    yield from rec()

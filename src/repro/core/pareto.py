@@ -1,0 +1,107 @@
+"""Area–time trade-off curves (Figure 7 of the paper).
+
+For every achievable latency ``h_t`` the minimal square chip is computed
+(BMP); the resulting staircase of (chip side, latency) pairs is filtered to
+its Pareto-optimal subset.  The paper plots the DE benchmark curve twice:
+with the precedence constraints (solid) and ignoring them (dashed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..graphs.digraph import DiGraph
+from .bmp import OPTIMAL, OptimizationResult, minimize_base
+from .boxes import Box
+from .opp import SolverOptions
+
+
+@dataclass
+class ParetoPoint:
+    """One point of the trade-off curve."""
+
+    time_bound: int
+    side: int
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        return (
+            self.time_bound <= other.time_bound
+            and self.side <= other.side
+            and (self.time_bound < other.time_bound or self.side < other.side)
+        )
+
+
+@dataclass
+class ParetoFront:
+    """The full sweep plus its Pareto-optimal subset."""
+
+    sweep: List[ParetoPoint] = field(default_factory=list)
+    points: List[ParetoPoint] = field(default_factory=list)
+    results: List[OptimizationResult] = field(default_factory=list)
+
+    def as_pairs(self) -> List[Tuple[int, int]]:
+        return [(p.time_bound, p.side) for p in self.points]
+
+
+def minimal_latency(boxes: List[Box], precedence: Optional[DiGraph]) -> int:
+    """The smallest latency achievable on *any* chip: the critical path with
+    precedence constraints, the longest single duration without."""
+    durations = [b.widths[-1] for b in boxes]
+    if precedence is not None:
+        return int(precedence.critical_path_length([float(d) for d in durations]))
+    return max(durations, default=0)
+
+
+def pareto_front(
+    boxes: List[Box],
+    precedence: Optional[DiGraph] = None,
+    max_time: Optional[int] = None,
+    options: Optional[SolverOptions] = None,
+) -> ParetoFront:
+    """Sweep latencies from the minimum achievable upward and minimize the
+    chip for each; stop when the chip size reaches its absolute floor (the
+    value for a fully sequential schedule), after which no trade-off
+    remains.
+    """
+    front = ParetoFront()
+    if not boxes:
+        return front
+    t_min = max(1, minimal_latency(boxes, precedence))
+    t_sequential = sum(b.widths[-1] for b in boxes)
+    if max_time is None:
+        max_time = t_sequential
+    floor_result = minimize_base(
+        boxes, precedence, time_bound=max(t_sequential, max_time), options=options
+    )
+    floor = floor_result.optimum if floor_result.status == OPTIMAL else None
+
+    previous_side: Optional[int] = None
+    for t in range(t_min, max_time + 1):
+        result = minimize_base(
+            boxes, precedence, time_bound=t, options=options, max_side=previous_side
+        )
+        front.results.append(result)
+        if result.status != OPTIMAL:
+            continue
+        side = result.optimum
+        front.sweep.append(ParetoPoint(time_bound=t, side=side))
+        previous_side = side
+        if floor is not None and side <= floor:
+            break
+
+    front.points = pareto_filter(front.sweep)
+    return front
+
+
+def pareto_filter(points: List[ParetoPoint]) -> List[ParetoPoint]:
+    """Keep only non-dominated points (smaller is better on both axes)."""
+    kept: List[ParetoPoint] = []
+    for p in points:
+        if any(q.dominates(p) for q in points if q is not p):
+            continue
+        if any(q.time_bound == p.time_bound and q.side == p.side for q in kept):
+            continue
+        kept.append(p)
+    kept.sort(key=lambda p: p.time_bound)
+    return kept

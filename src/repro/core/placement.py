@@ -1,0 +1,103 @@
+"""From packing classes to concrete placements.
+
+Theorem 1 of the paper (Fekete–Schepers) guarantees that every packing class
+corresponds to at least one feasible packing; the constructive direction is
+implemented here.  Given, for each axis, a transitive orientation of the
+comparability graph (an *interval order* — the "entirely left of" relation),
+the longest-path layout
+
+    pos_i(v) = max over predecessors u of (pos_i(u) + w_i(u)),  else 0
+
+places every comparable pair disjointly; condition C2 bounds the heaviest
+chain and hence keeps every box inside the container, and condition C3
+guarantees every pair is separated on at least one axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..graphs.comparability import extend_transitive_orientation
+from ..graphs.graph import Graph
+from .boxes import PackingInstance, Placement
+
+Arc = Tuple[int, int]
+
+
+def positions_from_orientation(
+    n: int, arcs: Sequence[Arc], widths: Sequence[int]
+) -> List[int]:
+    """Longest-path coordinates for one axis.
+
+    ``arcs`` is a transitive orientation (``u -> v`` = ``u`` entirely before
+    ``v``); the returned coordinate of ``v`` is the total width of the
+    heaviest predecessor chain.
+    """
+    from ..graphs.digraph import DiGraph
+
+    dag = DiGraph(n, arcs)
+    pos = [0] * n
+    for v in dag.topological_order():
+        pos[v] = max((pos[u] + widths[u] for u in dag.pred[v]), default=0)
+    return pos
+
+
+def placement_from_orientations(
+    instance: PackingInstance, orientations: Sequence[Sequence[Arc]]
+) -> Placement:
+    """Assemble a placement from one transitive orientation per axis."""
+    coords: List[List[int]] = []
+    for axis in range(instance.dimensions):
+        widths = instance.widths_along(axis)
+        coords.append(
+            positions_from_orientation(instance.n, orientations[axis], widths)
+        )
+    positions = [
+        tuple(coords[axis][v] for axis in range(instance.dimensions))
+        for v in range(instance.n)
+    ]
+    return Placement(instance, positions)
+
+
+def extract_placement(
+    instance: PackingInstance,
+    component_graphs: Sequence[Graph],
+    forced_arcs: Sequence[Sequence[Arc]],
+) -> Optional[Placement]:
+    """Try to realize a complete edge-state assignment as a placement.
+
+    For each axis the complement of the component graph must admit a
+    transitive orientation extending the axis' forced arcs (for the time
+    axis these include the precedence constraints and everything the
+    implication engine derived).  Returns ``None`` if some axis has no such
+    orientation — the exact counterpart of the incremental C1/precedence
+    filters.
+    """
+    orientations: List[List[Arc]] = []
+    for axis in range(instance.dimensions):
+        comparability = component_graphs[axis].complement()
+        arcs = extend_transitive_orientation(comparability, forced_arcs[axis])
+        if arcs is None:
+            return None
+        orientations.append(arcs)
+    return placement_from_orientations(instance, orientations)
+
+
+def component_graphs_of_placement(placement: Placement) -> List[Graph]:
+    """Project a placement back to its component graphs (one per axis).
+
+    Used by tests to validate Theorem 1 round-trips: the component graphs of
+    any feasible placement form a packing class.
+    """
+    inst = placement.instance
+    graphs = []
+    for axis in range(inst.dimensions):
+        g = Graph(inst.n)
+        for u in range(inst.n):
+            for v in range(u + 1, inst.n):
+                lo = max(placement.start(u, axis), placement.start(v, axis))
+                hi = min(placement.end(u, axis), placement.end(v, axis))
+                if lo < hi:
+                    g.add_edge(u, v)
+        graphs.append(g)
+    return graphs

@@ -1,0 +1,275 @@
+"""Depth-first branch-and-bound over packing classes.
+
+Stage 3 of the paper's framework: when the lower bounds cannot disprove a
+packing and the heuristics cannot find one, the solver enumerates edge-state
+assignments.  Branching fixes one (pair, axis) to COMPONENT or
+COMPARABILITY; the propagation engine (:mod:`repro.core.edgestate`) then
+cascades forced edges and orientations and signals conflicts.  At a leaf —
+all pairs decided on all axes — the assignment is verified *exactly*:
+
+1. every component graph must be chordal (cheap filter; interval graphs are
+   chordal, and every feasible packing induces interval component graphs);
+2. every comparability graph (the complement) must admit a transitive
+   orientation extending the axis' forced arcs — for the time axis these
+   include the precedence constraints (Theorem 2's feasibility test);
+3. the longest-path placement extracted from the orientations is validated
+   geometrically, independent of all solver data structures.
+
+SAT answers therefore always carry a machine-checked placement; UNSAT
+answers mean the exhaustive enumeration (sound propagation + exact leaf
+tests) found nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..graphs.chordal import is_chordal
+from .boxes import PackingInstance, Placement
+from .edgestate import (
+    COMPARABILITY,
+    COMPONENT,
+    Conflict,
+    EdgeStateModel,
+    PropagationOptions,
+)
+from .placement import extract_placement
+
+
+class LimitReached(Exception):
+    """Node or time budget exhausted; the search result is inconclusive."""
+
+
+@dataclass
+class SearchStats:
+    nodes: int = 0
+    conflicts: int = 0
+    leaves: int = 0
+    leaf_failures: int = 0
+    elapsed: float = 0.0
+    propagated_states: int = 0
+    propagated_arcs: int = 0
+
+    def merge_model(self, model: EdgeStateModel) -> None:
+        self.conflicts += model.stats.conflicts
+        self.propagated_states += model.stats.forced_states
+        self.propagated_arcs += model.stats.forced_arcs
+
+
+@dataclass
+class BranchingOptions:
+    """How the tree is explored.
+
+    ``strategy`` selects the variable/value heuristics:
+
+    * ``"guided"`` (default) — decide time-axis pairs first (largest boxes
+      first; precedence implications cascade from them), then the spatial
+      relation of pairs that *overlap in time* (those are the geometrically
+      constrained ones, tried separation-first), and only then the
+      spatially irrelevant remainder (tried overlap-first — such pairs are
+      free to share coordinates, which keeps the per-axis chains short).
+    * ``"static"`` — one fixed (axis, pair) order by width product with the
+      time axis boosted, always trying the ``value_order`` state first;
+      this matches a naive reading of the original branching rule and is
+      kept for ablation.
+    """
+
+    strategy: str = "guided"
+    value_order: str = "comparability_first"
+    time_axis_boost: float = 4.0
+
+
+class BranchAndBound:
+    """One OPP decision: does the instance admit a feasible packing?"""
+
+    def __init__(
+        self,
+        instance: PackingInstance,
+        propagation: Optional[PropagationOptions] = None,
+        branching: Optional[BranchingOptions] = None,
+        node_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        pre_states: Optional[List[Tuple[int, int, int, int]]] = None,
+        pre_arcs: Optional[List[Tuple[int, int, int]]] = None,
+    ) -> None:
+        """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
+        the search starts — the FixedS problems fix the entire time axis this
+        way, reducing the search to the two spatial dimensions.
+
+        External pre-assignments distinguish otherwise identical boxes, so
+        symmetry breaking (which canonicalizes their time order) must be
+        disabled whenever any are present."""
+        self.instance = instance
+        if pre_states or pre_arcs:
+            from dataclasses import replace
+
+            propagation = replace(
+                propagation or PropagationOptions(), symmetry_breaking=False
+            )
+        self.model = EdgeStateModel(instance, propagation)
+        self.pre_states = list(pre_states or [])
+        self.pre_arcs = list(pre_arcs or [])
+        self.branching = branching or BranchingOptions()
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.stats = SearchStats()
+        self._deadline: Optional[float] = None
+        if self.branching.strategy not in ("guided", "static"):
+            raise ValueError(f"unknown strategy {self.branching.strategy!r}")
+        self._branch_order = self._make_branch_order()
+        self._time_order = [
+            (axis, u, v)
+            for axis, u, v in self._branch_order
+            if axis == instance.time_axis
+        ]
+        self._spatial_order = [
+            (axis, u, v)
+            for axis, u, v in self._branch_order
+            if axis != instance.time_axis
+        ]
+        if self.branching.value_order == "comparability_first":
+            self._values = (COMPARABILITY, COMPONENT)
+        elif self.branching.value_order == "component_first":
+            self._values = (COMPONENT, COMPARABILITY)
+        else:
+            raise ValueError(f"unknown value order {self.branching.value_order!r}")
+
+    def _make_branch_order(self) -> List[Tuple[int, int, int]]:
+        inst = self.instance
+        triples = []
+        for axis in range(inst.dimensions):
+            boost = (
+                self.branching.time_axis_boost if axis == inst.time_axis else 1.0
+            )
+            for u in range(inst.n):
+                for v in range(u + 1, inst.n):
+                    score = (
+                        boost
+                        * inst.boxes[u].widths[axis]
+                        * inst.boxes[v].widths[axis]
+                    )
+                    triples.append((score, axis, u, v))
+        triples.sort(key=lambda t: -t[0])
+        return [(axis, u, v) for _, axis, u, v in triples]
+
+    def solve(self) -> Tuple[str, Optional[Placement]]:
+        """Returns ``("sat", placement)``, ``("unsat", None)`` or
+        ``("unknown", None)`` when a limit was reached."""
+        start = time.monotonic()
+        if self.time_limit is not None:
+            self._deadline = start + self.time_limit
+        try:
+            try:
+                self.model.seed()
+                for axis, u, v, value in self.pre_states:
+                    self.model.assign_state(axis, u, v, value, propagate=False)
+                for axis, a, b in self.pre_arcs:
+                    self.model.assign_arc(axis, a, b, propagate=False)
+                if self.pre_states or self.pre_arcs:
+                    self.model.propagate()
+            except Conflict:
+                return self._finish("unsat", None, start)
+            placement = self._dfs()
+            status = "sat" if placement is not None else "unsat"
+            return self._finish(status, placement, start)
+        except LimitReached:
+            return self._finish("unknown", None, start)
+
+    def _finish(
+        self, status: str, placement: Optional[Placement], start: float
+    ) -> Tuple[str, Optional[Placement]]:
+        self.stats.elapsed = time.monotonic() - start
+        self.stats.merge_model(self.model)
+        return status, placement
+
+    def _dfs(self) -> Optional[Placement]:
+        self.stats.nodes += 1
+        if self.node_limit is not None and self.stats.nodes > self.node_limit:
+            raise LimitReached("node limit")
+        if (
+            self._deadline is not None
+            and self.stats.nodes % 64 == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise LimitReached("time limit")
+        choice = self._pick_branch()
+        if choice is None:
+            return self._verify_leaf()
+        axis, u, v = choice
+        for value in self._value_order(axis, u, v):
+            mark = self.model.mark()
+            try:
+                self.model.assign_state(axis, u, v, value)
+            except Conflict:
+                self.model.rollback(mark)
+                continue
+            placement = self._dfs()
+            if placement is not None:
+                return placement
+            self.model.rollback(mark)
+        return None
+
+    def _value_order(self, axis: int, u: int, v: int) -> Tuple[int, int]:
+        if self.branching.strategy == "static":
+            return self._values
+        if axis != self.instance.time_axis:
+            time_state = self.model.state[self.instance.time_axis][u][v]
+            if time_state == COMPARABILITY:
+                # The pair never coexists; sharing coordinates is free and
+                # keeps the per-axis chains short.
+                return (COMPONENT, COMPARABILITY)
+        return self._values
+
+    def _pick_branch(self) -> Optional[Tuple[int, int, int]]:
+        from .edgestate import UNDECIDED
+
+        state = self.model.state
+        if self.branching.strategy == "static":
+            for axis, u, v in self._branch_order:
+                if state[axis][u][v] == UNDECIDED:
+                    return (axis, u, v)
+            return None
+        # Guided: all time-axis pairs first (they drive the implications and
+        # determine which spatial relations matter at all)...
+        time_axis = self.instance.time_axis
+        for axis, u, v in self._time_order:
+            if state[axis][u][v] == UNDECIDED:
+                return (axis, u, v)
+        # ... then spatial pairs of boxes that overlap in time (the
+        # geometrically constrained ones) ...
+        fallback: Optional[Tuple[int, int, int]] = None
+        time_state = state[time_axis]
+        for axis, u, v in self._spatial_order:
+            if state[axis][u][v] == UNDECIDED:
+                if time_state[u][v] == COMPONENT:
+                    return (axis, u, v)
+                if fallback is None:
+                    fallback = (axis, u, v)
+        # ... and the spatially irrelevant remainder last.
+        return fallback
+
+    def _verify_leaf(self) -> Optional[Placement]:
+        self.stats.leaves += 1
+        model = self.model
+        component_graphs = [
+            model.component_graph(axis) for axis in range(self.instance.dimensions)
+        ]
+        for g in component_graphs:
+            if not is_chordal(g):
+                self.stats.leaf_failures += 1
+                return None
+        forced = [
+            model.oriented_arcs(axis) for axis in range(self.instance.dimensions)
+        ]
+        placement = extract_placement(self.instance, component_graphs, forced)
+        if placement is None:
+            self.stats.leaf_failures += 1
+            return None
+        if not placement.is_feasible():
+            # Can only happen when a propagation rule is disabled (e.g. the
+            # C2 filter in an ablation run); the leaf is simply infeasible.
+            self.stats.leaf_failures += 1
+            return None
+        return placement

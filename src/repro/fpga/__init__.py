@@ -1,0 +1,41 @@
+"""FPGA domain model: chips, modules, task graphs, schedules, placement."""
+
+from .chip import Chip, square_chip
+from .module_library import ModuleLibrary, ModuleType
+from .task import Task
+from .dataflow import TaskGraph
+from .schedule import ReconfigurationSchedule, ScheduledTask
+from .online import OnlinePlacer, OnlineRequest, OnlineStats, online_makespan
+from .placer import (
+    ChipOptimizationOutcome,
+    PlacementOutcome,
+    explore_tradeoffs,
+    minimize_chip,
+    minimize_chip_fixed_schedule,
+    minimize_latency,
+    place,
+    place_fixed_schedule,
+)
+
+__all__ = [
+    "Chip",
+    "square_chip",
+    "ModuleLibrary",
+    "ModuleType",
+    "Task",
+    "TaskGraph",
+    "ReconfigurationSchedule",
+    "ScheduledTask",
+    "OnlinePlacer",
+    "OnlineRequest",
+    "OnlineStats",
+    "online_makespan",
+    "ChipOptimizationOutcome",
+    "PlacementOutcome",
+    "explore_tradeoffs",
+    "minimize_chip",
+    "minimize_chip_fixed_schedule",
+    "minimize_latency",
+    "place",
+    "place_fixed_schedule",
+]

@@ -1,0 +1,53 @@
+"""The reconfigurable chip model.
+
+The paper assumes an XC6200-style architecture: a regular ``width × height``
+array of identical configurable cells, partially reconfigurable at run time,
+with column read-in/read-out that does not disturb other configured regions
+(Section 2.1).  For placement purposes the chip is therefore just its cell
+array; routing between modules goes through an external memory interface and
+imposes no additional spatial constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.boxes import Container
+
+
+@dataclass(frozen=True)
+class Chip:
+    """A rectangular array of configurable cells."""
+
+    width: int
+    height: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("chip dimensions must be positive")
+
+    @property
+    def cells(self) -> int:
+        return self.width * self.height
+
+    @property
+    def is_square(self) -> bool:
+        return self.width == self.height
+
+    def container(self, time_bound: int) -> Container:
+        """The space-time container for a given latency bound."""
+        if time_bound <= 0:
+            raise ValueError("time bound must be positive")
+        return Container((self.width, self.height, time_bound))
+
+    def fits_module(self, width: int, height: int) -> bool:
+        return width <= self.width and height <= self.height
+
+    def __str__(self) -> str:
+        label = f"{self.width}x{self.height}"
+        return f"{self.name} ({label})" if self.name else label
+
+
+def square_chip(side: int, name: str = "") -> Chip:
+    return Chip(side, side, name=name)

@@ -1,0 +1,99 @@
+"""Hardware module types and module libraries.
+
+A *module* is a synthesized hardware block occupying a ``width × height``
+rectangle of configurable cells for a fixed number of clock cycles
+(Section 2 of the paper).  Following the paper's architecture assumptions,
+I/O overhead is accounted into the execution time and reconfiguration
+overhead can be modeled as a per-module constant added to the duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..core.boxes import Box
+
+
+@dataclass(frozen=True)
+class ModuleType:
+    """A reusable hardware module shape.
+
+    ``duration`` is the execution time in clock cycles;
+    ``reconfig_time`` a constant reconfiguration overhead charged to every
+    instantiation (0 by default, matching the paper's experiments).
+    """
+
+    name: str
+    width: int
+    height: int
+    duration: int
+    reconfig_time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"module {self.name!r} needs positive cell sizes")
+        if self.duration <= 0:
+            raise ValueError(f"module {self.name!r} needs a positive duration")
+        if self.reconfig_time < 0:
+            raise ValueError(f"module {self.name!r} has negative reconfiguration time")
+
+    @property
+    def cells(self) -> int:
+        return self.width * self.height
+
+    @property
+    def total_time(self) -> int:
+        return self.duration + self.reconfig_time
+
+    def box(self, instance_name: str = "") -> Box:
+        """The space-time box of one instantiation of this module."""
+        return Box(
+            (self.width, self.height, self.total_time),
+            name=instance_name or self.name,
+        )
+
+
+class ModuleLibrary:
+    """A named collection of module types."""
+
+    def __init__(self, modules: Iterator[ModuleType] = ()) -> None:
+        self._modules: Dict[str, ModuleType] = {}
+        for m in modules:
+            self.add(m)
+
+    def add(self, module: ModuleType) -> ModuleType:
+        if module.name in self._modules:
+            raise ValueError(f"module {module.name!r} already in library")
+        self._modules[module.name] = module
+        return module
+
+    def define(
+        self,
+        name: str,
+        width: int,
+        height: int,
+        duration: int,
+        reconfig_time: int = 0,
+    ) -> ModuleType:
+        return self.add(ModuleType(name, width, height, duration, reconfig_time))
+
+    def get(self, name: str) -> ModuleType:
+        try:
+            return self._modules[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"module {name!r} not in library (have: {sorted(self._modules)})"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def names(self) -> List[str]:
+        return sorted(self._modules)

@@ -1,0 +1,198 @@
+"""Reconfiguration schedules: where and when every task runs.
+
+The result of a successful placement: each task gets a start time and a
+spatial anchor on the chip.  The class re-validates itself independently of
+the solver (plain interval arithmetic) and renders ASCII Gantt charts and
+per-cycle floorplans for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.boxes import Placement, intervals_overlap
+from .chip import Chip
+from .dataflow import TaskGraph
+from .task import Task
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement in space and time."""
+
+    task: Task
+    x: int
+    y: int
+    start: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.task.duration
+
+    def __str__(self) -> str:
+        return (
+            f"{self.task.name}: cells ({self.x},{self.y})-"
+            f"({self.x + self.task.width - 1},{self.y + self.task.height - 1}), "
+            f"cycles [{self.start},{self.end})"
+        )
+
+
+class ReconfigurationSchedule:
+    """A complete space-time schedule for a task graph on a chip."""
+
+    def __init__(
+        self, graph: TaskGraph, chip: Chip, entries: List[ScheduledTask]
+    ) -> None:
+        self.graph = graph
+        self.chip = chip
+        self.entries = list(entries)
+
+    @classmethod
+    def from_placement(
+        cls, graph: TaskGraph, chip: Chip, placement: Placement
+    ) -> "ReconfigurationSchedule":
+        entries = [
+            ScheduledTask(task=graph.tasks[i], x=pos[0], y=pos[1], start=pos[2])
+            for i, pos in enumerate(placement.positions)
+        ]
+        return cls(graph, chip, entries)
+
+    @property
+    def makespan(self) -> int:
+        return max((e.end for e in self.entries), default=0)
+
+    def entry(self, task_name: str) -> ScheduledTask:
+        for e in self.entries:
+            if e.task.name == task_name:
+                return e
+        raise KeyError(f"no scheduled task named {task_name!r}")
+
+    def start_times(self) -> List[int]:
+        return [e.start for e in self.entries]
+
+    # -- validation ------------------------------------------------------------
+
+    def violations(self) -> List[str]:
+        """Independent feasibility check (chip bounds, overlaps, precedence)."""
+        problems: List[str] = []
+        if len(self.entries) != self.graph.n:
+            return ["schedule does not cover every task"]
+        for e in self.entries:
+            if e.x < 0 or e.y < 0 or e.start < 0:
+                problems.append(f"{e.task.name}: negative coordinates")
+            if e.x + e.task.width > self.chip.width:
+                problems.append(f"{e.task.name}: leaves the chip horizontally")
+            if e.y + e.task.height > self.chip.height:
+                problems.append(f"{e.task.name}: leaves the chip vertically")
+        for i, a in enumerate(self.entries):
+            for b in self.entries[i + 1 :]:
+                time_overlap = intervals_overlap(
+                    a.start, a.task.duration, b.start, b.task.duration
+                )
+                x_overlap = intervals_overlap(a.x, a.task.width, b.x, b.task.width)
+                y_overlap = intervals_overlap(a.y, a.task.height, b.y, b.task.height)
+                if time_overlap and x_overlap and y_overlap:
+                    problems.append(
+                        f"{a.task.name} and {b.task.name} occupy the same cells "
+                        "at the same time"
+                    )
+        closure = self.graph.closed_dependency_dag()
+        for u, v in closure.arcs():
+            if self.entries[u].end > self.entries[v].start:
+                problems.append(
+                    f"dependency {self.graph.tasks[u].name} -> "
+                    f"{self.graph.tasks[v].name} violated "
+                    f"({self.entries[u].end} > {self.entries[v].start})"
+                )
+        return problems
+
+    def is_feasible(self) -> bool:
+        return not self.violations()
+
+    # -- rendering ----------------------------------------------------------------
+
+    def gantt(self, width: int = 60) -> str:
+        """ASCII Gantt chart: one row per task, time left to right."""
+        span = max(1, self.makespan)
+        scale = max(1, -(-span // width))  # cycles per character, ceil
+        name_width = max((len(e.task.name) for e in self.entries), default=4)
+        lines = [
+            f"{'task'.ljust(name_width)} | 0{' ' * (span // scale - 1)}| t={span}"
+        ]
+        for e in sorted(self.entries, key=lambda e: (e.start, e.task.name)):
+            row = []
+            for t in range(0, span, scale):
+                row.append("#" if e.start <= t < e.end else ".")
+            lines.append(f"{e.task.name.ljust(name_width)} | {''.join(row)}")
+        return "\n".join(lines)
+
+    def floorplan(self, cycle: int, max_cells: int = 64) -> str:
+        """ASCII floorplan of the chip at one clock cycle.
+
+        Each active task is drawn with a distinct letter; ``.`` is free.
+        Chips wider/taller than ``max_cells`` are downscaled by an integer
+        factor (every character then represents a cell block).
+        """
+        scale = max(
+            1, -(-self.chip.width // max_cells), -(-self.chip.height // max_cells)
+        )
+        cols = -(-self.chip.width // scale)
+        rows = -(-self.chip.height // scale)
+        canvas = [["." for _ in range(cols)] for _ in range(rows)]
+        active = [e for e in self.entries if e.start <= cycle < e.end]
+        letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+        legend = []
+        for i, e in enumerate(sorted(active, key=lambda e: e.task.name)):
+            symbol = letters[i % len(letters)]
+            legend.append(f"{symbol}={e.task.name}")
+            for y in range(e.y, e.y + e.task.height):
+                for x in range(e.x, e.x + e.task.width):
+                    canvas[y // scale][x // scale] = symbol
+        header = f"cycle {cycle} on {self.chip}  ({', '.join(legend) or 'idle'})"
+        body = "\n".join("".join(row) for row in reversed(canvas))
+        return f"{header}\n{body}"
+
+    # -- metrics -----------------------------------------------------------------
+
+    def busy_cell_cycles(self) -> int:
+        """Total cell-cycles occupied by tasks."""
+        return sum(
+            e.task.width * e.task.height * e.task.duration for e in self.entries
+        )
+
+    def utilization(self) -> float:
+        """Busy cell-cycles over chip capacity up to the makespan."""
+        span = self.makespan
+        if span == 0:
+            return 0.0
+        return self.busy_cell_cycles() / (self.chip.cells * span)
+
+    def active_cells(self, cycle: int) -> int:
+        """Cells occupied at one clock cycle."""
+        return sum(
+            e.task.width * e.task.height
+            for e in self.entries
+            if e.start <= cycle < e.end
+        )
+
+    def reconfigurations(self) -> int:
+        """Number of module load events (one per task in this model)."""
+        return len(self.entries)
+
+    def table(self) -> str:
+        """Plain-text table of all scheduled tasks, by start time."""
+        lines = [f"{'task':<12} {'module':<8} {'cells':<14} {'cycles':<12}"]
+        for e in sorted(self.entries, key=lambda e: (e.start, e.task.name)):
+            cells = f"({e.x},{e.y})+{e.task.width}x{e.task.height}"
+            cycles = f"[{e.start},{e.end})"
+            lines.append(
+                f"{e.task.name:<12} {e.task.module.name:<8} {cells:<14} {cycles:<12}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return (
+            f"schedule of {self.graph.name or 'task graph'} on {self.chip}: "
+            f"makespan {self.makespan}"
+        )

@@ -1,0 +1,44 @@
+"""Tasks: instantiations of hardware modules.
+
+A task is one node of the problem graph — an operation that must run on a
+module of a given type.  Tasks of the same module type share their shape
+but are distinct boxes in the packing (the paper's DE benchmark has six
+separate multiplications, each a 16×16×2 box).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.boxes import Box
+from .module_library import ModuleType
+
+
+@dataclass(frozen=True)
+class Task:
+    """One operation bound to a module type."""
+
+    name: str
+    module: ModuleType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tasks need a non-empty name")
+
+    @property
+    def width(self) -> int:
+        return self.module.width
+
+    @property
+    def height(self) -> int:
+        return self.module.height
+
+    @property
+    def duration(self) -> int:
+        return self.module.total_time
+
+    def box(self) -> Box:
+        return self.module.box(instance_name=self.name)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.module.name}"

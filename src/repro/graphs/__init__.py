@@ -1,0 +1,64 @@
+"""Graph-theoretic substrates for the packing-class solver.
+
+Everything here is implemented from scratch: lightweight graphs/DAGs,
+chordality (Lex-BFS), comparability graphs (transitive orientation with
+forced arcs — the offline form of the paper's Theorem 2 engine), interval
+graph recognition/realization (Gilmore–Hoffman), and weighted
+clique/chain/stable-set optimization.
+"""
+
+from .graph import Graph, canonical_edge
+from .digraph import DiGraph, CycleError
+from .chordal import (
+    lex_bfs,
+    is_chordal,
+    is_perfect_elimination_order,
+    perfect_elimination_order,
+    maximal_cliques_chordal,
+    find_induced_c4,
+)
+from .comparability import (
+    extend_transitive_orientation,
+    path_implication_classes,
+    transitive_orientation,
+    is_comparability,
+    is_transitive,
+)
+from .interval import (
+    is_interval_graph,
+    interval_realization,
+    consecutive_clique_order,
+    verify_realization,
+)
+from .cliques import (
+    max_weight_clique,
+    max_weight_clique_containing,
+    max_weight_chain,
+    max_weight_stable_set_interval,
+)
+
+__all__ = [
+    "Graph",
+    "canonical_edge",
+    "DiGraph",
+    "CycleError",
+    "lex_bfs",
+    "is_chordal",
+    "is_perfect_elimination_order",
+    "perfect_elimination_order",
+    "maximal_cliques_chordal",
+    "find_induced_c4",
+    "extend_transitive_orientation",
+    "path_implication_classes",
+    "transitive_orientation",
+    "is_comparability",
+    "is_transitive",
+    "is_interval_graph",
+    "interval_realization",
+    "consecutive_clique_order",
+    "verify_realization",
+    "max_weight_clique",
+    "max_weight_clique_containing",
+    "max_weight_chain",
+    "max_weight_stable_set_interval",
+]

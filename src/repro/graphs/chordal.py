@@ -1,0 +1,143 @@
+"""Chordal graph machinery: Lex-BFS, perfect elimination orders, cliques.
+
+Interval graphs are exactly the chordal graphs whose complement is a
+comparability graph (Gilmore–Hoffman).  Condition C1 of a packing class
+("every component graph is an interval graph") is therefore verified with
+the algorithms in this module plus the transitive-orientation machinery in
+:mod:`repro.graphs.comparability`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+
+def lex_bfs(graph: Graph, start: Optional[int] = None) -> List[int]:
+    """Lexicographic breadth-first search.
+
+    Returns a Lex-BFS ordering of the vertices.  If the graph is chordal, the
+    *reverse* of this ordering is a perfect elimination ordering.  Implemented
+    with the classic partition-refinement scheme, O(n + m).
+    """
+    n = graph.n
+    if n == 0:
+        return []
+    if start is None:
+        start = 0
+    # Partition refinement over a list of "slices" (cells); each vertex knows
+    # its cell.  We keep cells as lists inside a doubly linked structure
+    # emulated with dicts for simplicity at this problem scale (n <= ~100).
+    cells: List[List[int]] = [[v for v in range(n) if v != start], [start]]
+    order: List[int] = []
+    while cells:
+        # Pick a vertex from the last (lexicographically largest) cell.
+        while cells and not cells[-1]:
+            cells.pop()
+        if not cells:
+            break
+        v = cells[-1].pop()
+        order.append(v)
+        neighbors = graph.adj[v]
+        # Split every cell into (non-neighbours, neighbours); neighbours move
+        # to a new cell placed *after* the original.
+        new_cells: List[List[int]] = []
+        for cell in cells:
+            if not cell:
+                continue
+            inside = [u for u in cell if u in neighbors]
+            outside = [u for u in cell if u not in neighbors]
+            if outside:
+                new_cells.append(outside)
+            if inside:
+                new_cells.append(inside)
+        cells = new_cells
+    return order
+
+
+def is_perfect_elimination_order(graph: Graph, order: Sequence[int]) -> bool:
+    """Check whether ``order`` (eliminated left to right) is a PEO.
+
+    A vertex order ``v1, …, vn`` is a perfect elimination ordering if, for
+    every ``vi``, the neighbours of ``vi`` occurring *later* in the order form
+    a clique.  Uses the standard parent-check trick: it suffices to verify
+    that the later-neighbourhood of ``v``, minus its first member ``p``, is
+    contained in the later-neighbourhood of ``p``.
+    """
+    n = graph.n
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of the vertices")
+    position = {v: i for i, v in enumerate(order)}
+    for v in order:
+        later = [u for u in graph.adj[v] if position[u] > position[v]]
+        if not later:
+            continue
+        parent = min(later, key=position.__getitem__)
+        rest = set(later) - {parent}
+        if not rest <= graph.adj[parent]:
+            return False
+    return True
+
+
+def is_chordal(graph: Graph) -> bool:
+    """Chordality test: reverse Lex-BFS order must be a PEO."""
+    order = lex_bfs(graph)
+    order.reverse()
+    return is_perfect_elimination_order(graph, order)
+
+
+def perfect_elimination_order(graph: Graph) -> Optional[List[int]]:
+    """Return a PEO if the graph is chordal, else ``None``."""
+    order = lex_bfs(graph)
+    order.reverse()
+    if is_perfect_elimination_order(graph, order):
+        return order
+    return None
+
+
+def maximal_cliques_chordal(graph: Graph) -> List[List[int]]:
+    """All maximal cliques of a chordal graph (≤ n of them), via a PEO.
+
+    Raises ``ValueError`` if the graph is not chordal.
+    """
+    peo = perfect_elimination_order(graph)
+    if peo is None:
+        raise ValueError("graph is not chordal")
+    position = {v: i for i, v in enumerate(peo)}
+    candidate_cliques: List[List[int]] = []
+    for v in peo:
+        later = [u for u in graph.adj[v] if position[u] > position[v]]
+        candidate_cliques.append(sorted([v] + later))
+    # Drop cliques strictly contained in another candidate.
+    sets = [frozenset(c) for c in candidate_cliques]
+    maximal = []
+    for i, c in enumerate(sets):
+        if not any(i != j and c < other for j, other in enumerate(sets)):
+            maximal.append(sorted(c))
+    # Deduplicate (identical candidates can occur).
+    unique = {tuple(c) for c in maximal}
+    return sorted(list(map(list, unique)))
+
+
+def find_induced_c4(graph: Graph) -> Optional[Tuple[int, int, int, int]]:
+    """Return an induced 4-cycle ``(a, b, c, d)`` (edges ab, bc, cd, da;
+    non-edges ac, bd) if one exists, else ``None``.
+
+    Brute force O(n^2 m); used by tests and by the incremental C1 filter's
+    exact fallback on the small graphs of this problem domain.
+    """
+    n = graph.n
+    for a in range(n):
+        for c in range(a + 1, n):
+            if graph.has_edge(a, c):
+                continue
+            # Common neighbours of the non-adjacent pair (a, c).
+            common = graph.adj[a] & graph.adj[c]
+            common_list = sorted(common)
+            for i in range(len(common_list)):
+                for j in range(i + 1, len(common_list)):
+                    b, d = common_list[i], common_list[j]
+                    if not graph.has_edge(b, d):
+                        return (a, b, c, d)
+    return None

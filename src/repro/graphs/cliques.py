@@ -1,0 +1,120 @@
+"""Weighted cliques, chains, and stable sets.
+
+Condition C2 of a packing class bounds the total width of every stable set
+of a component graph — equivalently, of every clique of the complement
+(comparability) graph, i.e. every *chain* of the interval order.  On
+comparability graphs with a known transitive orientation this is a longest
+weighted path in a DAG; on arbitrary (small) graphs we fall back to an
+exact branch-and-bound maximum-weight clique, which the solver also uses on
+the partially-built comparability graphs during the tree search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .comparability import transitive_orientation
+from .graph import Graph
+
+Arc = Tuple[int, int]
+
+
+def max_weight_clique(graph: Graph, weights: Sequence[float]) -> Tuple[float, List[int]]:
+    """Exact maximum-weight clique via branch and bound.
+
+    Intended for the small graphs of this domain (tens of vertices).
+    Weights must be non-negative.  Returns ``(weight, vertices)``.
+    """
+    if len(weights) != graph.n:
+        raise ValueError("one weight per vertex required")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    order = sorted(range(graph.n), key=lambda v: -weights[v])
+    best_weight = 0.0
+    best_clique: List[int] = []
+
+    def expand(candidates: List[int], current: List[int], current_weight: float) -> None:
+        nonlocal best_weight, best_clique
+        if current_weight > best_weight:
+            best_weight = current_weight
+            best_clique = list(current)
+        remaining = sum(weights[v] for v in candidates)
+        if current_weight + remaining <= best_weight:
+            return
+        for i, v in enumerate(candidates):
+            rest = sum(weights[u] for u in candidates[i:])
+            if current_weight + rest <= best_weight:
+                return
+            current.append(v)
+            next_candidates = [u for u in candidates[i + 1:] if graph.has_edge(u, v)]
+            expand(next_candidates, current, current_weight + weights[v])
+            current.pop()
+
+    expand(order, [], 0.0)
+    return best_weight, sorted(best_clique)
+
+
+def max_weight_clique_containing(
+    graph: Graph, weights: Sequence[float], anchor: Iterable[int]
+) -> Tuple[float, List[int]]:
+    """Max-weight clique constrained to contain all ``anchor`` vertices.
+
+    Returns ``(0.0, [])`` if the anchor itself is not a clique.  Used by the
+    incremental C2 check: after fixing a new comparability edge ``{u, v}``
+    only cliques through both endpoints can newly violate the bound.
+    """
+    anchor_list = sorted(set(anchor))
+    if not graph.is_clique(anchor_list):
+        return 0.0, []
+    common = set(range(graph.n))
+    for v in anchor_list:
+        common &= graph.adj[v]
+    common -= set(anchor_list)
+    sub, mapping = graph.induced_subgraph(common)
+    sub_weights = [weights[mapping[i]] for i in range(sub.n)]
+    w, clique = max_weight_clique(sub, sub_weights)
+    total = w + sum(weights[v] for v in anchor_list)
+    members = sorted(anchor_list + [mapping[i] for i in clique])
+    return total, members
+
+
+def max_weight_chain(
+    n: int, arcs: Iterable[Arc], weights: Sequence[float]
+) -> Tuple[float, List[int]]:
+    """Heaviest vertex-weighted directed path in a DAG (a chain of the
+    partial order).  Arcs need not be transitively closed."""
+    from .digraph import DiGraph
+
+    dag = DiGraph(n, arcs)
+    order = dag.topological_order()
+    best = list(weights)
+    parent = [-1] * n
+    for u in order:
+        for v in dag.succ[u]:
+            if best[u] + weights[v] > best[v]:
+                best[v] = best[u] + weights[v]
+                parent[v] = u
+    if n == 0:
+        return 0.0, []
+    end = max(range(n), key=best.__getitem__)
+    chain = [end]
+    while parent[chain[-1]] != -1:
+        chain.append(parent[chain[-1]])
+    chain.reverse()
+    return best[end], chain
+
+
+def max_weight_stable_set_interval(
+    graph: Graph, weights: Sequence[float]
+) -> Tuple[float, List[int]]:
+    """Maximum-weight stable set of an interval graph.
+
+    A stable set of an interval graph is a clique of its comparability-graph
+    complement, i.e. a chain of the interval order; solved as a longest
+    weighted path over a transitive orientation of the complement.
+    Raises ``ValueError`` if the complement is not transitively orientable.
+    """
+    orientation = transitive_orientation(graph.complement())
+    if orientation is None:
+        raise ValueError("graph is not an interval graph (complement not comparability)")
+    return max_weight_chain(graph.n, orientation, weights)

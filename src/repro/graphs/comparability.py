@@ -1,0 +1,240 @@
+"""Transitive orientations of comparability graphs.
+
+A *comparability graph* is an undirected graph whose edges can be oriented
+transitively (``a -> b`` and ``b -> c`` imply the edge ``{a, c}`` exists and
+is oriented ``a -> c``).  Complements of interval graphs are comparability
+graphs, and a transitive orientation of the complement of a component graph
+is exactly an *interval order* — the "left of" relation of a packing.
+
+The paper's Section 4 needs a stronger primitive than plain recognition:
+given a partial order Φ whose arcs are contained in the edge set, decide
+whether Φ extends to a transitive orientation of the whole graph
+(Korte–Möhring's problem; the paper's Theorem 2 characterizes feasibility
+via path/transitivity implications).  :func:`extend_transitive_orientation`
+solves this by propagation of the two implication rules plus
+backtracking, which is complete irrespective of instance structure and fast
+at the problem sizes of FPGA module placement.
+
+Propagation rules (Fig. 6 of the paper, stated on the comparability graph):
+
+* **path implication (D1 / Golumbic's Γ-relation):** if ``{a, b}`` and
+  ``{a, c}`` are edges but ``{b, c}`` is *not* an edge, then ``a -> b``
+  forces ``a -> c`` (and ``b -> a`` forces ``c -> a``).
+* **transitivity implication (D2):** ``a -> b`` and ``b -> c`` force the
+  edge ``{a, c}`` to exist with orientation ``a -> c``; if ``{a, c}`` is a
+  non-edge this is a conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .graph import Graph, canonical_edge
+
+Arc = Tuple[int, int]
+
+#: Edge direction constants relative to the canonical (u < v) form.
+FORWARD = 1   # u -> v
+BACKWARD = -1  # v -> u
+
+
+class OrientationConflict(Exception):
+    """Internal signal: an edge was forced in both directions (path
+    conflict) or transitivity forced a non-edge (transitivity conflict)."""
+
+
+class _Orienter:
+    """Shared propagation engine for orientation problems on one graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.direction: Dict[Tuple[int, int], int] = {}
+        for e in graph.edges():
+            self.direction[e] = 0
+
+    def get(self, a: int, b: int) -> int:
+        """Direction of edge {a, b} as seen from a: +1 if a->b, -1 if b->a,
+        0 if unoriented.  Raises KeyError for non-edges."""
+        e = canonical_edge(a, b)
+        d = self.direction[e]
+        if d == 0:
+            return 0
+        return d if e == (a, b) else -d
+
+    def assign(self, a: int, b: int) -> List[Tuple[int, int]]:
+        """Orient a->b and propagate; returns the list of canonical edges
+        whose direction this call set (for undo).  Raises
+        :class:`OrientationConflict` on failure, leaving the state exactly
+        as it was before the call."""
+        assigned: List[Tuple[int, int]] = []
+        queue: List[Arc] = []
+        try:
+            self._set(a, b, assigned, queue)
+            while queue:
+                x, y = queue.pop()
+                self._propagate_from(x, y, assigned, queue)
+        except OrientationConflict:
+            self.undo(assigned)
+            raise
+        return assigned
+
+    def undo(self, assigned: Iterable[Tuple[int, int]]) -> None:
+        for e in assigned:
+            self.direction[e] = 0
+
+    def unoriented_edges(self) -> List[Tuple[int, int]]:
+        return [e for e, d in self.direction.items() if d == 0]
+
+    def arcs(self) -> List[Arc]:
+        out = []
+        for (u, v), d in self.direction.items():
+            if d == FORWARD:
+                out.append((u, v))
+            elif d == BACKWARD:
+                out.append((v, u))
+        return out
+
+    # -- internals --------------------------------------------------------
+
+    def _set(self, a: int, b: int, assigned: List[Tuple[int, int]],
+             queue: List[Arc]) -> None:
+        """Record orientation a->b; push onto queue if newly assigned."""
+        e = canonical_edge(a, b)
+        if e not in self.direction:
+            # Transitivity forced an arc over a non-edge: conflict.
+            raise OrientationConflict(f"transitivity conflict on non-edge {e}")
+        want = FORWARD if e == (a, b) else BACKWARD
+        have = self.direction[e]
+        if have == want:
+            return
+        if have != 0:
+            raise OrientationConflict(f"path conflict on edge {e}")
+        self.direction[e] = want
+        assigned.append(e)
+        queue.append((a, b))
+
+    def _propagate_from(self, a: int, b: int, assigned: List[Tuple[int, int]],
+                        queue: List[Arc]) -> None:
+        adj = self.graph.adj
+        # D1 / Γ-relation: a->b forces a->c for c ∈ N(a) \ N(b),
+        # and c->b for c ∈ N(b) \ N(a).
+        for c in adj[a]:
+            if c != b and c not in adj[b]:
+                self._set(a, c, assigned, queue)
+        for c in adj[b]:
+            if c != a and c not in adj[a]:
+                self._set(c, b, assigned, queue)
+        # D2 / transitivity: x->a->b forces x->b; a->b->y forces a->y.
+        for x in adj[a]:
+            if x != b and self.get(x, a) == FORWARD:
+                self._set(x, b, assigned, queue)
+        for y in adj[b]:
+            if y != a and self.get(b, y) == FORWARD:
+                self._set(a, y, assigned, queue)
+
+
+def is_transitive(n: int, arcs: Iterable[Arc]) -> bool:
+    """Check a -> b -> c implies a -> c over the given arc set."""
+    succ = [set() for _ in range(n)]
+    for u, v in arcs:
+        succ[u].add(v)
+    for a in range(n):
+        for b in succ[a]:
+            for c in succ[b]:
+                if c not in succ[a]:
+                    return False
+    return True
+
+
+def extend_transitive_orientation(
+    graph: Graph, forced_arcs: Iterable[Arc] = ()
+) -> Optional[List[Arc]]:
+    """Extend ``forced_arcs`` to a transitive orientation of ``graph``.
+
+    Returns a list of arcs (one per edge) forming a transitive orientation
+    that contains every forced arc, or ``None`` if no such orientation
+    exists.  Every forced arc must correspond to an edge of the graph.
+
+    The engine closes the forced arcs under path and transitivity
+    implications (Theorem 2 of the paper), then orients the remaining
+    implication classes by depth-first search with full propagation.
+    """
+    orienter = _Orienter(graph)
+    forced = list(forced_arcs)
+    for a, b in forced:
+        if not graph.has_edge(a, b):
+            raise ValueError(f"forced arc ({a}, {b}) is not an edge")
+    try:
+        for a, b in forced:
+            orienter.assign(a, b)
+    except OrientationConflict:
+        return None
+
+    if _orient_remaining(orienter):
+        arcs = orienter.arcs()
+        assert is_transitive(graph.n, arcs), "orientation engine bug"
+        return arcs
+    return None
+
+
+def _orient_remaining(orienter: _Orienter) -> bool:
+    """DFS over the still-unoriented edges with propagation."""
+    remaining = orienter.unoriented_edges()
+    if not remaining:
+        return True
+    u, v = remaining[0]
+    for a, b in ((u, v), (v, u)):
+        try:
+            assigned = orienter.assign(a, b)
+        except OrientationConflict:
+            continue
+        if _orient_remaining(orienter):
+            return True
+        orienter.undo(assigned)
+    return False
+
+
+def transitive_orientation(graph: Graph) -> Optional[List[Arc]]:
+    """Return some transitive orientation of the graph, or ``None``."""
+    return extend_transitive_orientation(graph, ())
+
+
+def path_implication_classes(graph: Graph) -> List[List[Tuple[int, int]]]:
+    """Partition the edges into Gallai/Golumbic implication classes.
+
+    Two edges are in the same *path implication class* iff a sequence of
+    path implications (the Γ-relation: ``{a,b}``, ``{a,c}`` edges with
+    ``{b,c}`` a non-edge force each other's orientation) links them — the
+    partition underlying the paper's Section 4.3 and Theorem 2.  Classes
+    are returned as lists of canonical edges.
+    """
+    edges = list(graph.edges())
+    index = {e: i for i, e in enumerate(edges)}
+    parent = list(range(len(edges)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    for a in range(graph.n):
+        neighbors = sorted(graph.adj[a])
+        for i, b in enumerate(neighbors):
+            for c in neighbors[i + 1:]:
+                if not graph.has_edge(b, c):
+                    union(index[canonical_edge(a, b)], index[canonical_edge(a, c)])
+    classes: dict = {}
+    for i, e in enumerate(edges):
+        classes.setdefault(find(i), []).append(e)
+    return sorted(classes.values())
+
+
+def is_comparability(graph: Graph) -> bool:
+    """Is the graph a comparability graph (transitively orientable)?"""
+    return transitive_orientation(graph) is not None

@@ -1,0 +1,169 @@
+"""Lightweight undirected graphs on vertex set ``{0, …, n-1}``.
+
+The packing-class machinery manipulates *component graphs* and their
+complements (*comparability graphs*) over a fixed, small vertex set — one
+vertex per task/box.  A dense adjacency-set representation keyed by integer
+ids is the simplest structure that supports the operations the solver needs:
+O(1) edge tests, neighbourhood iteration, complementation, and induced
+subgraphs.  We deliberately do not depend on networkx here; the recognition
+algorithms in this package (chordality, comparability, interval graphs) are
+substrates of the reproduction and are implemented from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the edge ``{u, v}`` as an ordered pair ``(min, max)``."""
+    if u == v:
+        raise ValueError(f"self-loop on vertex {u} is not a valid edge")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph on vertices ``0 … n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add initially.
+    """
+
+    __slots__ = ("n", "adj")
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        self.n = n
+        self.adj: List[Set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -----------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}`` (idempotent)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not a valid edge")
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``{u, v}``; error if absent."""
+        try:
+            self.adj[u].remove(v)
+            self.adj[v].remove(u)
+        except KeyError as exc:
+            raise KeyError(f"edge ({u}, {v}) not in graph") from exc
+
+    def copy(self) -> "Graph":
+        g = Graph(self.n)
+        g.adj = [set(nb) for nb in self.adj]
+        return g
+
+    # -- queries -----------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self.adj[u]
+
+    def neighbors(self, u: int) -> Set[int]:
+        return self.adj[u]
+
+    def degree(self, u: int) -> int:
+        return len(self.adj[u])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as canonical ``(u, v)`` pairs with ``u < v``."""
+        for u in range(self.n):
+            for v in self.adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_count(self) -> int:
+        return sum(len(nb) for nb in self.adj) // 2
+
+    def vertices(self) -> range:
+        return range(self.n)
+
+    # -- derived graphs ----------------------------------------------------
+
+    def complement(self) -> "Graph":
+        """Return the complement graph on the same vertex set."""
+        g = Graph(self.n)
+        for u in range(self.n):
+            g.adj[u] = set(range(self.n)) - self.adj[u] - {u}
+        return g
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", List[int]]:
+        """Return the induced subgraph and the list mapping new ids to old.
+
+        New vertex ``i`` corresponds to ``mapping[i]`` in ``self``.
+        """
+        mapping = sorted(set(vertices))
+        index = {old: new for new, old in enumerate(mapping)}
+        g = Graph(len(mapping))
+        for new_u, old_u in enumerate(mapping):
+            for old_v in self.adj[old_u]:
+                if old_v in index and old_u < old_v:
+                    g.add_edge(new_u, index[old_v])
+        return g, mapping
+
+    def is_clique(self, vertices: Iterable[int]) -> bool:
+        vs = list(vertices)
+        return all(
+            self.has_edge(vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+        )
+
+    def is_stable_set(self, vertices: Iterable[int]) -> bool:
+        vs = list(vertices)
+        return all(
+            not self.has_edge(vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+        )
+
+    def connected_components(self) -> List[List[int]]:
+        """Return the connected components as sorted vertex lists."""
+        seen = [False] * self.n
+        components: List[List[int]] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            comp = []
+            while stack:
+                u = stack.pop()
+                comp.append(u)
+                for v in self.adj[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+            components.append(sorted(comp))
+        return components
+
+    # -- misc ----------------------------------------------------------------
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise IndexError(f"vertex {u} out of range [0, {self.n})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self.adj == other.adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, edges={sorted(self.edges())})"

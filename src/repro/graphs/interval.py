@@ -1,0 +1,123 @@
+"""Interval graph recognition and realization.
+
+Condition C1 of a packing class requires every component graph to be an
+interval graph.  We use the Gilmore–Hoffman characterization:
+
+    G is an interval graph  ⟺  G is chordal and its complement is a
+    comparability graph.
+
+Both halves are substrates we implement from scratch
+(:mod:`repro.graphs.chordal`, :mod:`repro.graphs.comparability`).
+
+A *realization* maps each vertex to a closed-open interval such that two
+vertices are adjacent iff their intervals intersect.  We build realizations
+from a consecutive ordering of the maximal cliques (the clique-path view of
+interval graphs): vertex ``v`` is realized as ``[first(v), last(v) + 1)``
+where ``first``/``last`` are the indices of the first/last maximal clique
+containing ``v`` in the consecutive order.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Optional, Tuple
+
+from .chordal import is_chordal, maximal_cliques_chordal
+from .comparability import transitive_orientation
+from .graph import Graph
+
+Interval = Tuple[int, int]
+
+
+def is_interval_graph(graph: Graph) -> bool:
+    """Gilmore–Hoffman test: chordal and co-comparability."""
+    if not is_chordal(graph):
+        return False
+    return transitive_orientation(graph.complement()) is not None
+
+
+def consecutive_clique_order(graph: Graph) -> Optional[List[List[int]]]:
+    """Order the maximal cliques consecutively, or return ``None``.
+
+    For an interval graph there is a linear order of its maximal cliques in
+    which the cliques containing any fixed vertex appear consecutively.  The
+    order is derived from a transitive orientation of the complement (the
+    interval order): clique ``C`` precedes ``C'`` iff some ``u ∈ C \\ C'`` is
+    oriented before some ``v ∈ C' \\ C``.
+    """
+    if graph.n == 0:
+        return []
+    if not is_chordal(graph):
+        return None
+    orientation = transitive_orientation(graph.complement())
+    if orientation is None:
+        return None
+    before = {(u, v) for u, v in orientation}
+    cliques = maximal_cliques_chordal(graph)
+    clique_sets = [set(c) for c in cliques]
+
+    def compare(i: int, j: int) -> int:
+        only_i = clique_sets[i] - clique_sets[j]
+        only_j = clique_sets[j] - clique_sets[i]
+        for u in only_i:
+            for v in only_j:
+                if (u, v) in before:
+                    return -1
+                if (v, u) in before:
+                    return 1
+        return 0
+
+    order = sorted(range(len(cliques)), key=functools.cmp_to_key(compare))
+    ordered = [cliques[i] for i in order]
+    if _is_consecutive(graph, ordered):
+        return ordered
+    return None
+
+
+def _is_consecutive(graph: Graph, ordered_cliques: List[List[int]]) -> bool:
+    positions: Dict[int, List[int]] = {v: [] for v in range(graph.n)}
+    for idx, clique in enumerate(ordered_cliques):
+        for v in clique:
+            positions[v].append(idx)
+    for v, idxs in positions.items():
+        if not idxs:
+            return False  # isolated vertices always sit in the clique {v}
+        if idxs[-1] - idxs[0] != len(idxs) - 1:
+            return False
+    return True
+
+
+def interval_realization(graph: Graph) -> Optional[List[Interval]]:
+    """Return closed-open intervals realizing the graph, or ``None``.
+
+    The returned list maps vertex ``v`` to ``(left, right)`` with
+    ``left < right``; vertices are adjacent iff their intervals intersect
+    (``max(l1, l2) < min(r1, r2)``).
+    """
+    ordered = consecutive_clique_order(graph)
+    if ordered is None:
+        return None
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    for idx, clique in enumerate(ordered):
+        for v in clique:
+            first.setdefault(v, idx)
+            last[v] = idx
+    return [(first[v], last[v] + 1) for v in range(graph.n)]
+
+
+def verify_realization(graph: Graph, intervals: List[Interval]) -> bool:
+    """Independent check that the intervals realize exactly the graph."""
+    if len(intervals) != graph.n:
+        return False
+    for left, right in intervals:
+        if left >= right:
+            return False
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            lu, ru = intervals[u]
+            lv, rv = intervals[v]
+            overlap = max(lu, lv) < min(ru, rv)
+            if overlap != graph.has_edge(u, v):
+                return False
+    return True

@@ -1,0 +1,23 @@
+"""Fast placement heuristics (stage 2 of the paper's framework)."""
+
+from .annealing import AnnealingOptions, annealed_makespan, annealed_placement
+from .greedy import (
+    bottom_left_placement,
+    heuristic_makespan,
+    heuristic_placement,
+    list_schedule_placement,
+)
+from .grid import OccupancyGrid, candidate_coordinates, find_first_fit
+
+__all__ = [
+    "AnnealingOptions",
+    "annealed_makespan",
+    "annealed_placement",
+    "bottom_left_placement",
+    "heuristic_makespan",
+    "heuristic_placement",
+    "list_schedule_placement",
+    "OccupancyGrid",
+    "candidate_coordinates",
+    "find_first_fit",
+]

@@ -1,0 +1,110 @@
+"""Occupancy-grid geometry used by the placement heuristics.
+
+The heuristics (stage 2 of the paper's framework) work on an explicit cell
+grid: the container is a boolean occupancy array indexed ``[t][y][x]`` (or
+generally ``[axis_d-1] … [axis_0]``) and candidate anchors are generated
+from the corners of already-placed boxes — the classic bottom-left family.
+numpy keeps the region tests cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.boxes import Box, Container
+
+Coordinate = Tuple[int, ...]
+
+
+class OccupancyGrid:
+    """A d-dimensional boolean occupancy grid over the container cells."""
+
+    def __init__(self, container: Container) -> None:
+        self.container = container
+        # numpy shape uses reversed axis order so that axis 0 of the array is
+        # the *last* instance axis (time); purely an internal convention.
+        self.sizes = container.sizes
+        self.cells = np.zeros(tuple(reversed(self.sizes)), dtype=bool)
+
+    def _region(self, position: Coordinate, widths: Sequence[int]):
+        slices = tuple(
+            slice(position[axis], position[axis] + widths[axis])
+            for axis in reversed(range(len(self.sizes)))
+        )
+        return self.cells[slices]
+
+    def fits(self, position: Coordinate, widths: Sequence[int]) -> bool:
+        """Inside the container and fully free?"""
+        for axis, size in enumerate(self.sizes):
+            if position[axis] < 0 or position[axis] + widths[axis] > size:
+                return False
+        return not self._region(position, widths).any()
+
+    def place(self, position: Coordinate, widths: Sequence[int]) -> None:
+        region = self._region(position, widths)
+        if region.any():
+            raise ValueError(f"cells at {position} already occupied")
+        region[...] = True
+
+    def remove(self, position: Coordinate, widths: Sequence[int]) -> None:
+        self._region(position, widths)[...] = False
+
+
+def candidate_coordinates(
+    placed: Iterable[Tuple[Coordinate, Sequence[int]]], dimensions: int
+) -> List[List[int]]:
+    """Anchor candidates per axis: 0 plus every placed box's end coordinate.
+
+    A standard normal-pattern argument shows that if any placement exists,
+    one exists where every box is "pushed" against the container wall or
+    against another box on every axis, so these candidates suffice for the
+    greedy heuristics.
+    """
+    candidates: List[List[int]] = [[0] for _ in range(dimensions)]
+    for position, widths in placed:
+        for axis in range(dimensions):
+            candidates[axis].append(position[axis] + widths[axis])
+    return [sorted(set(c)) for c in candidates]
+
+
+def find_first_fit(
+    grid: OccupancyGrid,
+    box: Box,
+    candidates: List[List[int]],
+    axis_order: Optional[Sequence[int]] = None,
+    minimum: Optional[Sequence[int]] = None,
+) -> Optional[Coordinate]:
+    """Scan candidate anchors in lexicographic order of ``axis_order``
+    (innermost axis last) and return the first free position.
+
+    ``minimum[axis]`` restricts the search to coordinates at least that
+    value (used for precedence release times on the time axis).
+    """
+    d = len(grid.sizes)
+    if axis_order is None:
+        axis_order = list(range(d - 1, -1, -1))  # time outermost by default
+    minimum = list(minimum) if minimum is not None else [0] * d
+    filtered = [
+        [c for c in candidates[axis] if c >= minimum[axis]] for axis in range(d)
+    ]
+    for axis in range(d):
+        if minimum[axis] not in filtered[axis]:
+            filtered[axis].insert(0, minimum[axis])
+
+    def scan(depth: int, position: List[int]) -> Optional[Coordinate]:
+        if depth == d:
+            pos = tuple(position)
+            return pos if grid.fits(pos, box.widths) else None
+        axis = axis_order[depth]
+        for value in filtered[axis]:
+            if value + box.widths[axis] > grid.sizes[axis]:
+                continue
+            position[axis] = value
+            result = scan(depth + 1, position)
+            if result is not None:
+                return result
+        return None
+
+    return scan(0, [0] * d)

@@ -1,0 +1,63 @@
+"""Benchmark instances: the paper's two benchmarks plus random generators."""
+
+from .de import (
+    ALU,
+    DE_DEPENDENCIES,
+    DE_OPERATIONS,
+    FIGURE_7_WITH_PRECEDENCE,
+    MULTIPLIER,
+    TABLE_1,
+    de_module_library,
+    de_task_graph,
+)
+from .video_codec import (
+    BMM,
+    CODEC_DEPENDENCIES,
+    CODER_OPERATIONS,
+    DCTM,
+    DECODER_OPERATIONS,
+    PUM,
+    TABLE_2,
+    codec_module_library,
+    codec_task_graph,
+)
+from .dsp import (
+    fft_task_graph,
+    fir_critical_path,
+    fir_filter_task_graph,
+)
+from .random_instances import (
+    random_feasible_instance,
+    random_instance,
+    random_perfect_packing,
+    random_precedence_from_placement,
+    random_task_graph,
+)
+
+__all__ = [
+    "ALU",
+    "DE_DEPENDENCIES",
+    "DE_OPERATIONS",
+    "FIGURE_7_WITH_PRECEDENCE",
+    "MULTIPLIER",
+    "TABLE_1",
+    "de_module_library",
+    "de_task_graph",
+    "BMM",
+    "CODEC_DEPENDENCIES",
+    "CODER_OPERATIONS",
+    "DCTM",
+    "DECODER_OPERATIONS",
+    "PUM",
+    "TABLE_2",
+    "codec_module_library",
+    "codec_task_graph",
+    "fft_task_graph",
+    "fir_critical_path",
+    "fir_filter_task_graph",
+    "random_feasible_instance",
+    "random_instance",
+    "random_perfect_packing",
+    "random_precedence_from_placement",
+    "random_task_graph",
+]

@@ -1,0 +1,89 @@
+"""The DE benchmark (Section 5.1, Figure 2, Table 1).
+
+A numerical method for solving a differential equation with 11 operation
+nodes — the classic HAL high-level-synthesis benchmark (one Euler step of
+``y'' + 3xy' + 3y = 0``):
+
+    x1 = x + dx                    (v10: ADD, then v11: COMP x1 < a)
+    u1 = u − (3·x)·(u·dx) − (3·y)·dx
+         v1 = 3·x   (MUL)    v2 = u·dx  (MUL)    v3 = v1·v2   (MUL)
+         v8 = 3·y   (MUL)    v7 = v8·dx (MUL)
+         v4 = u − v3 (SUB)   v5 = v4 − v7 (SUB)
+    y1 = y + u·dx
+         v6 = u·dx  (MUL)    v9 = y + v6 (ADD)
+
+Node labels follow Figure 2 of the paper: six multiplications
+(v1, v2, v3, v6, v7, v8), two additions (v9, v10), two subtractions
+(v4, v5) and one comparison (v11).
+
+Module library (word length n = 16): an array multiplier of 16×16 cells
+taking 2 clock cycles, and an ALU module of 16×1 cells taking 1 clock cycle
+that realizes all other node operations.
+
+The critical path is v1/v2 → v3 → v4 → v5 = 2+2+1+1 = 6 clock cycles,
+matching the paper's "the longest path in the graph has length 6".
+"""
+
+from __future__ import annotations
+
+from ..fpga.dataflow import TaskGraph
+from ..fpga.module_library import ModuleLibrary, ModuleType
+
+WORD_LENGTH = 16
+
+MULTIPLIER = ModuleType(name="MUL", width=16, height=16, duration=2)
+ALU = ModuleType(name="ALU", width=16, height=1, duration=1)
+
+
+def de_module_library() -> ModuleLibrary:
+    """The two-module library of the DE benchmark."""
+    return ModuleLibrary([MULTIPLIER, ALU])
+
+
+#: (task name, module name) in Figure 2's labeling.
+DE_OPERATIONS = [
+    ("v1", "MUL"),   # 3 * x
+    ("v2", "MUL"),   # u * dx
+    ("v3", "MUL"),   # (3x) * (u dx)
+    ("v4", "ALU"),   # SUB: u - v3
+    ("v5", "ALU"),   # SUB: v4 - v7
+    ("v6", "MUL"),   # u * dx (for y1)
+    ("v7", "MUL"),   # (3y) * dx
+    ("v8", "MUL"),   # 3 * y
+    ("v9", "ALU"),   # ADD: y + v6
+    ("v10", "ALU"),  # ADD: x + dx
+    ("v11", "ALU"),  # COMP: x1 < a
+]
+
+#: Data dependencies of Figure 2 (producer, consumer).
+DE_DEPENDENCIES = [
+    ("v1", "v3"),
+    ("v2", "v3"),
+    ("v3", "v4"),
+    ("v4", "v5"),
+    ("v8", "v7"),
+    ("v7", "v5"),
+    ("v6", "v9"),
+    ("v10", "v11"),
+]
+
+#: Table 1 of the paper: deadline -> (minimal square chip, paper CPU time s).
+TABLE_1 = {
+    6: (32, 55.76),
+    13: (17, 0.04),
+    14: (16, 0.03),
+}
+
+#: Figure 7, solid curve (with precedence): Pareto points (latency, side).
+FIGURE_7_WITH_PRECEDENCE = [(6, 32), (13, 17), (14, 16)]
+
+
+def de_task_graph() -> TaskGraph:
+    """The 11-node DE problem graph with its data dependencies."""
+    library = de_module_library()
+    graph = TaskGraph(name="DE")
+    for name, module_name in DE_OPERATIONS:
+        graph.add_task(name, library.get(module_name))
+    for producer, consumer in DE_DEPENDENCIES:
+        graph.add_dependency(producer, consumer)
+    return graph

@@ -1,0 +1,109 @@
+"""Parametric DSP workloads — the application class the paper motivates.
+
+The paper's introduction motivates run-time reconfiguration with "speeding
+up computational problems in hardware"; signal-processing kernels are the
+canonical such workloads on reconfigurable fabrics.  Two well-defined
+parametric problem graphs are provided (both scale to arbitrary sizes, so
+they also serve as solver stress tests):
+
+* :func:`fir_filter_task_graph` — an ``n``-tap FIR filter: one multiplier
+  per tap feeding a balanced adder tree;
+* :func:`fft_task_graph` — a radix-2 decimation-in-time FFT of ``2^k``
+  points: ``k`` stages of ``2^{k-1}`` butterflies, each butterfly depending
+  on its two predecessors in the previous stage.
+
+Both use the DE benchmark's word-length-16 module style by default
+(16×16×2 multiplier-ish compute units, 16×1×1 ALU-style adders) but accept
+any module pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fpga.dataflow import TaskGraph
+from ..fpga.module_library import ModuleType
+
+DEFAULT_MUL = ModuleType(name="MUL", width=16, height=16, duration=2)
+DEFAULT_ADD = ModuleType(name="ADD", width=16, height=1, duration=1)
+DEFAULT_BUTTERFLY = ModuleType(name="BFLY", width=16, height=8, duration=2)
+
+
+def fir_filter_task_graph(
+    taps: int,
+    multiplier: Optional[ModuleType] = None,
+    adder: Optional[ModuleType] = None,
+) -> TaskGraph:
+    """An ``n``-tap FIR filter: ``y = Σ c_i · x[n-i]``.
+
+    ``taps`` multipliers (one per coefficient) feed a balanced binary adder
+    tree of ``taps - 1`` adders.  Critical path: one multiplier plus
+    ``ceil(log2(taps))`` adders.
+    """
+    if taps < 1:
+        raise ValueError("a FIR filter needs at least one tap")
+    multiplier = multiplier or DEFAULT_MUL
+    adder = adder or DEFAULT_ADD
+    graph = TaskGraph(name=f"fir{taps}")
+    frontier = []
+    for i in range(taps):
+        graph.add_task(f"mul{i}", multiplier)
+        frontier.append(f"mul{i}")
+    level = 0
+    while len(frontier) > 1:
+        next_frontier = []
+        for j in range(0, len(frontier) - 1, 2):
+            name = f"add{level}_{j // 2}"
+            graph.add_task(name, adder)
+            graph.add_dependency(frontier[j], name)
+            graph.add_dependency(frontier[j + 1], name)
+            next_frontier.append(name)
+        if len(frontier) % 2 == 1:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+        level += 1
+    return graph
+
+
+def fft_task_graph(
+    points: int,
+    butterfly: Optional[ModuleType] = None,
+) -> TaskGraph:
+    """A radix-2 decimation-in-time FFT problem graph.
+
+    ``points`` must be a power of two ≥ 2.  Stage ``s`` (0-based) contains
+    ``points/2`` butterflies; butterfly ``b`` of stage ``s`` consumes the
+    outputs of the two stage-``s-1`` butterflies that produced its inputs
+    (the classic constant-geometry dependency pattern).
+    """
+    if points < 2 or points & (points - 1):
+        raise ValueError("FFT size must be a power of two >= 2")
+    butterfly = butterfly or DEFAULT_BUTTERFLY
+    stages = points.bit_length() - 1
+    half = points // 2
+    graph = TaskGraph(name=f"fft{points}")
+    for s in range(stages):
+        for b in range(half):
+            graph.add_task(f"bf{s}_{b}", butterfly)
+    # Stage s, butterfly pairing with span = 2^s: the butterfly working on
+    # lines (i, i + span) needs the stage-(s-1) butterflies that produced
+    # those lines.
+    def producer(stage: int, line: int) -> str:
+        span = 1 << stage
+        group = (line // (span * 2)) * span + (line % span)
+        return f"bf{stage}_{group}"
+
+    for s in range(1, stages):
+        span = 1 << s
+        for b in range(half):
+            group = (b // span) * span * 2 + (b % span)
+            hi = group + span
+            for line in (group, hi):
+                graph.add_dependency(producer(s - 1, line), f"bf{s}_{b}")
+    return graph
+
+
+def fir_critical_path(taps: int) -> int:
+    """Expected critical path of the default-module FIR graph."""
+    depth = (taps - 1).bit_length()  # ceil(log2(taps)) for taps >= 1
+    return DEFAULT_MUL.duration + depth * DEFAULT_ADD.duration

@@ -1,0 +1,142 @@
+"""Random instance generators for tests, property checks, and ablations.
+
+The most useful generator cuts a container into boxes by recursive random
+guillotine splits: the resulting instance is *feasible by construction*
+(and tightly so — the boxes tile the container exactly), with the witness
+placement returned alongside.  Random precedence constraints can then be
+sampled consistently with the witness, keeping the instance feasible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core.boxes import Box, Container, PackingInstance, Placement
+from ..fpga.dataflow import TaskGraph
+from ..fpga.module_library import ModuleType
+from ..graphs.digraph import DiGraph
+
+
+def random_perfect_packing(
+    rng: random.Random,
+    container: Tuple[int, ...],
+    num_boxes: int,
+) -> Tuple[PackingInstance, Placement]:
+    """Cut the container into exactly ``num_boxes`` boxes by random
+    guillotine splits; returns the instance and its witness placement.
+
+    Requires the container volume to be at least ``num_boxes`` (every piece
+    keeps positive extents).
+    """
+    sizes = tuple(container)
+    pieces: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [
+        (tuple(0 for _ in sizes), sizes)
+    ]
+    while len(pieces) < num_boxes:
+        splittable = [
+            i for i, (_, dims) in enumerate(pieces) if any(d > 1 for d in dims)
+        ]
+        if not splittable:
+            raise ValueError(
+                f"cannot cut {sizes} into {num_boxes} boxes with positive extents"
+            )
+        index = rng.choice(splittable)
+        origin, dims = pieces.pop(index)
+        axis = rng.choice([a for a, d in enumerate(dims) if d > 1])
+        cut = rng.randint(1, dims[axis] - 1)
+        first_dims = tuple(cut if a == axis else d for a, d in enumerate(dims))
+        second_origin = tuple(
+            origin[a] + (cut if a == axis else 0) for a in range(len(dims))
+        )
+        second_dims = tuple(
+            dims[a] - cut if a == axis else dims[a] for a in range(len(dims))
+        )
+        pieces.append((origin, first_dims))
+        pieces.append((second_origin, second_dims))
+    rng.shuffle(pieces)
+    boxes = [Box(dims, name=f"r{i}") for i, (_, dims) in enumerate(pieces)]
+    instance = PackingInstance(boxes, Container(sizes))
+    placement = Placement(instance, [origin for origin, _ in pieces])
+    return instance, placement
+
+
+def random_precedence_from_placement(
+    rng: random.Random, placement: Placement, density: float = 0.3
+) -> DiGraph:
+    """Sample precedence arcs that the witness placement already satisfies
+    (only between boxes fully separated on the time axis)."""
+    inst = placement.instance
+    axis = inst.time_axis
+    dag = DiGraph(inst.n)
+    for u in range(inst.n):
+        for v in range(inst.n):
+            if u == v:
+                continue
+            if placement.end(u, axis) <= placement.start(v, axis):
+                if rng.random() < density:
+                    dag.add_arc(u, v)
+    return dag
+
+
+def random_feasible_instance(
+    rng: random.Random,
+    container: Tuple[int, ...] = (6, 6, 6),
+    num_boxes: int = 6,
+    precedence_density: float = 0.3,
+) -> Tuple[PackingInstance, Placement]:
+    """A feasible instance with precedence constraints and its witness."""
+    instance, placement = random_perfect_packing(rng, container, num_boxes)
+    dag = random_precedence_from_placement(rng, placement, precedence_density)
+    instance = PackingInstance(
+        list(instance.boxes), instance.container, dag, instance.time_axis
+    )
+    placement = Placement(instance, list(placement.positions))
+    return instance, placement
+
+
+def random_instance(
+    rng: random.Random,
+    container: Tuple[int, ...] = (4, 4, 4),
+    num_boxes: int = 4,
+    max_width: int = 3,
+    precedence_density: float = 0.2,
+) -> PackingInstance:
+    """An arbitrary (possibly infeasible) instance with a random DAG."""
+    d = len(container)
+    boxes = [
+        Box(
+            tuple(rng.randint(1, max_width) for _ in range(d)),
+            name=f"b{i}",
+        )
+        for i in range(num_boxes)
+    ]
+    dag = DiGraph(num_boxes)
+    for u in range(num_boxes):
+        for v in range(u + 1, num_boxes):
+            if rng.random() < precedence_density:
+                dag.add_arc(u, v)
+    return PackingInstance(boxes, Container(container), dag)
+
+
+def random_task_graph(
+    rng: random.Random,
+    num_tasks: int = 8,
+    chip_side: int = 16,
+    dependency_density: float = 0.25,
+) -> TaskGraph:
+    """A random FPGA task graph with plausible module shapes."""
+    graph = TaskGraph(name=f"random-{num_tasks}")
+    for i in range(num_tasks):
+        width = rng.randint(1, max(1, chip_side // 2))
+        height = rng.randint(1, max(1, chip_side // 2))
+        duration = rng.randint(1, 4)
+        module = ModuleType(
+            name=f"M{i}", width=width, height=height, duration=duration
+        )
+        graph.add_task(f"t{i}", module)
+    for u in range(num_tasks):
+        for v in range(u + 1, num_tasks):
+            if rng.random() < dependency_density:
+                graph.add_dependency(f"t{u}", f"t{v}")
+    return graph

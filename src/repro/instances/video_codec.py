@@ -1,0 +1,112 @@
+"""The H.261 video-codec benchmark (Section 5.2, Figures 8–9, Table 2).
+
+A hybrid image-sequence coder/decoder: transformative (DCT) and predictive
+(motion estimation/compensation) coding are unified; blocks of a frame are
+predicted from previous frames, the prediction error is DCT-transformed,
+quantized and run-length coded; a feedback loop reconstructs the frame the
+decoder will see.  The problem graph contains one subgraph for the coder
+and one for the decoder.
+
+Module library (paper values):
+
+* ``PUM`` — a simple processor core, 25×25 = 625 cells (normalized units);
+* ``BMM`` — a dedicated block-matching module for motion estimation,
+  64×64 = 4096 cells;
+* ``DCTM`` — a dedicated DCT/IDCT module, 16×16 = 256 cells.
+
+**Reconstruction note.**  Figure 9 (the exact problem graph) is not
+machine-readable in the available copy of the paper; the graph below is
+reconstructed from the H.261 block diagram of Figure 8 (coder: motion
+estimation → compensation → loop filter → prediction error → DCT → Q →
+RLC, with the Q⁻¹ → DCT⁻¹ → + reconstruction loop; decoder: RLD → Q⁻¹ →
+DCT⁻¹ → + with its own compensation/filter path).  Durations are chosen so
+that the dependency-critical path is exactly 59 clock cycles — the paper
+states that ``h_t = 59`` "is the smallest latency possible due to the data
+dependencies".  Because the BMM occupies the full 64×64 chip by itself, no
+chip smaller than 64×64 is feasible for *any* latency, which reproduces the
+paper's finding of exactly one Pareto point (64, 59).
+"""
+
+from __future__ import annotations
+
+from ..fpga.dataflow import TaskGraph
+from ..fpga.module_library import ModuleLibrary, ModuleType
+
+PUM = ModuleType(name="PUM", width=25, height=25, duration=1)
+BMM = ModuleType(name="BMM", width=64, height=64, duration=1)
+DCTM = ModuleType(name="DCTM", width=16, height=16, duration=1)
+
+
+def codec_module_library() -> ModuleLibrary:
+    """The three-module library of the video-codec benchmark.
+
+    The per-task durations vary (same module type, different functions), so
+    the library stores the *shapes*; durations are bound per task below.
+    """
+    return ModuleLibrary([PUM, BMM, DCTM])
+
+
+#: (task, module shape, duration): the coder subgraph …
+CODER_OPERATIONS = [
+    ("ME", "BMM", 24),    # motion estimation (block matching, full chip)
+    ("MC", "PUM", 6),     # motion compensation
+    ("LF", "PUM", 4),     # loop filter
+    ("SUB", "PUM", 2),    # prediction error a[i] - b[i]
+    ("DCT", "DCTM", 8),   # forward DCT
+    ("Q", "PUM", 3),      # quantizer
+    ("RLC", "PUM", 4),    # run-length coder
+    ("IQ", "PUM", 3),     # inverse quantizer Q^-1 (feedback loop)
+    ("IDCT", "DCTM", 8),  # inverse DCT (feedback loop)
+    ("REC", "PUM", 1),    # reconstruction adder (+)
+]
+
+#: … and the decoder subgraph.
+DECODER_OPERATIONS = [
+    ("RLD", "PUM", 4),      # run-length decoder
+    ("IQ_D", "PUM", 3),     # inverse quantizer
+    ("IDCT_D", "DCTM", 8),  # inverse DCT
+    ("MC_D", "PUM", 6),     # motion compensation
+    ("LF_D", "PUM", 4),     # loop filter
+    ("REC_D", "PUM", 1),    # reconstruction adder
+]
+
+CODEC_DEPENDENCIES = [
+    # Coder: prediction loop feeding the transform pipeline.
+    ("ME", "MC"),
+    ("MC", "LF"),
+    ("LF", "SUB"),
+    ("SUB", "DCT"),
+    ("DCT", "Q"),
+    ("Q", "RLC"),
+    ("Q", "IQ"),
+    ("IQ", "IDCT"),
+    ("IDCT", "REC"),
+    ("LF", "REC"),
+    # Decoder: mirror pipeline on the received stream.
+    ("RLD", "IQ_D"),
+    ("IQ_D", "IDCT_D"),
+    ("IDCT_D", "REC_D"),
+    ("MC_D", "LF_D"),
+    ("LF_D", "REC_D"),
+]
+
+#: Table 2 of the paper: one Pareto point (latency, chip side, CPU seconds).
+TABLE_2 = {"latency": 59, "side": 64, "paper_cpu_seconds": 24.87}
+
+
+def codec_task_graph() -> TaskGraph:
+    """The coder+decoder problem graph of the video codec."""
+    graph = TaskGraph(name="video-codec")
+    shapes = {"PUM": PUM, "BMM": BMM, "DCTM": DCTM}
+    for name, shape, duration in CODER_OPERATIONS + DECODER_OPERATIONS:
+        base = shapes[shape]
+        module = ModuleType(
+            name=f"{base.name}/{name}",
+            width=base.width,
+            height=base.height,
+            duration=duration,
+        )
+        graph.add_task(name, module)
+    for producer, consumer in CODEC_DEPENDENCIES:
+        graph.add_dependency(producer, consumer)
+    return graph

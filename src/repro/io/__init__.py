@@ -1,0 +1,34 @@
+"""Serialization and reporting utilities."""
+
+from .report import format_table, pareto_report, table1_report
+from .svg import schedule_floorplan_svg, schedule_gantt_svg
+from .serialize import (
+    dumps,
+    instance_from_dict,
+    instance_to_dict,
+    loads,
+    placement_from_dict,
+    placement_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    task_graph_from_dict,
+    task_graph_to_dict,
+)
+
+__all__ = [
+    "format_table",
+    "schedule_floorplan_svg",
+    "schedule_gantt_svg",
+    "pareto_report",
+    "table1_report",
+    "dumps",
+    "instance_from_dict",
+    "instance_to_dict",
+    "loads",
+    "placement_from_dict",
+    "placement_to_dict",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "task_graph_from_dict",
+    "task_graph_to_dict",
+]

@@ -1,0 +1,56 @@
+"""Plain-text result tables in the shape of the paper's tables/figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ..core.bmp import OptimizationResult
+from ..core.pareto import ParetoFront
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A minimal fixed-width table renderer."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def table1_report(
+    results: Sequence[Tuple[int, OptimizationResult]],
+    paper: dict,
+) -> str:
+    """Table 1 of the paper: BMP results for the DE benchmark."""
+    rows = []
+    for time_bound, result in results:
+        paper_side, paper_seconds = paper.get(time_bound, ("-", "-"))
+        rows.append(
+            [
+                time_bound,
+                f"{result.optimum}x{result.optimum}"
+                if result.optimum is not None
+                else result.status,
+                f"{result.total_seconds:.3f}s",
+                f"{paper_side}x{paper_side}" if paper_side != "-" else "-",
+                f"{paper_seconds}s" if paper_seconds != "-" else "-",
+            ]
+        )
+    return format_table(
+        ["h_t", "chip (ours)", "CPU (ours)", "chip (paper)", "CPU (paper, SUN Ultra 30)"],
+        rows,
+    )
+
+
+def pareto_report(front: ParetoFront, label: str = "") -> str:
+    """Figure 7 style: the Pareto points as a table."""
+    rows = [[p.time_bound, f"{p.side}x{p.side}"] for p in front.points]
+    title = f"Pareto-optimal points {('(' + label + ')') if label else ''}".strip()
+    return title + "\n" + format_table(["h_t", "chip"], rows)

@@ -1,0 +1,130 @@
+"""CLI smoke tests (the experiment commands are exercised end to end)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "fig7", "demo"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_solve_arguments(self):
+        args = build_parser().parse_args(
+            ["solve", "inst.json", "--time-limit", "5"]
+        )
+        assert args.instance == "inst.json"
+        assert args.time_limit == 5.0
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "32x32" in out and "17x17" in out and "16x16" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "59" in out and "64x64" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "with precedence" in out and "without precedence" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan 6" in out
+
+    def test_solve_sat(self, tmp_path, capsys):
+        instance = {
+            "boxes": [
+                {"widths": [1, 1, 1], "name": "a"},
+                {"widths": [1, 1, 1], "name": "b"},
+            ],
+            "container": [2, 2, 2],
+            "precedence": [[0, 1]],
+            "time_axis": 2,
+        }
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(instance))
+        assert main(["solve", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "status: sat" in out
+
+    def test_bmp_builtin_graph(self, capsys):
+        assert main(["bmp", "@de", "--time", "14"]) == 0
+        assert "16x16" in capsys.readouterr().out
+
+    def test_bmp_infeasible_deadline(self, capsys):
+        assert main(["bmp", "@de", "--time", "5"]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_spp_builtin_graph(self, capsys):
+        assert main(["spp", "@fir4", "--width", "32"]) == 0
+        assert "4 cycles" in capsys.readouterr().out
+
+    def test_area_command(self, capsys):
+        assert main(["area", "@de", "--time", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "768 cells" in out
+
+    def test_pareto_command(self, capsys):
+        assert main(["pareto", "@fir4"]) == 0
+        out = capsys.readouterr().out
+        assert "32x32" in out
+
+    def test_pareto_ignore_dependencies(self, capsys):
+        assert main(["pareto", "@fir4", "--ignore-dependencies"]) == 0
+        out = capsys.readouterr().out
+        assert "h_t" in out
+
+    def test_svg_command(self, tmp_path, capsys):
+        prefix = str(tmp_path / "sched")
+        assert main(
+            ["svg", "@fir4", "--width", "32", "--time", "4", "--output", prefix]
+        ) == 0
+        assert (tmp_path / "sched_gantt.svg").exists()
+        assert (tmp_path / "sched_floorplan.svg").exists()
+
+    def test_graph_from_json_file(self, tmp_path, capsys):
+        from repro.instances.dsp import fir_filter_task_graph
+        from repro.io import dumps, task_graph_to_dict
+
+        path = tmp_path / "graph.json"
+        path.write_text(dumps(task_graph_to_dict(fir_filter_task_graph(2))))
+        assert main(["bmp", str(path), "--time", "3"]) == 0
+        assert "minimal square chip" in capsys.readouterr().out
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bmp", "@nonsense", "--time", "3"])
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "32x32" in out and "64x64" in out
+        assert "free-aspect" in out
+
+    def test_solve_unsat(self, tmp_path, capsys):
+        instance = {
+            "boxes": [{"widths": [3, 3, 3], "name": "big"}],
+            "container": [2, 2, 2],
+            "precedence": None,
+            "time_axis": 2,
+        }
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(instance))
+        assert main(["solve", str(path)]) == 0
+        assert "status: unsat" in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Unit tests for the lower-bound machinery and dual feasible functions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import make_instance
+from repro.core.bounds import (
+    conflict_schedule_bound,
+    critical_path_bound,
+    dff_volume_bound,
+    makespan_lower_bound,
+    oversized_box_bound,
+    prove_infeasible,
+    spatial_conflict_bound,
+    volume_bound,
+)
+from repro.core.dff import (
+    default_family,
+    identity,
+    is_dual_feasible_on_samples,
+    make_f0,
+    make_u_k,
+)
+
+
+class TestDFFs:
+    def test_identity(self):
+        assert identity(Fraction(1, 3)) == Fraction(1, 3)
+
+    def test_u_k_breakpoints(self):
+        u2 = make_u_k(2)
+        # x(k+1) integral: keep x.
+        assert u2(Fraction(1, 3)) == Fraction(1, 3)
+        assert u2(Fraction(2, 3)) == Fraction(2, 3)
+        # Otherwise floor(3x)/2.
+        assert u2(Fraction(1, 2)) == Fraction(1, 2)  # floor(1.5)/2 = 1/2
+        assert u2(Fraction(2, 5)) == Fraction(1, 2)  # floor(1.2)/2
+        assert u2(Fraction(1, 4)) == Fraction(0)     # floor(0.75)/2
+
+    def test_u_1_halves(self):
+        u1 = make_u_k(1)
+        assert u1(Fraction(1, 2)) == Fraction(1, 2)
+        assert u1(Fraction(3, 5)) == Fraction(1)   # floor(1.2)/1
+        assert u1(Fraction(2, 5)) == Fraction(0)
+
+    def test_u_k_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            make_u_k(0)
+
+    def test_f0_threshold(self):
+        f = make_f0(Fraction(1, 4))
+        assert f(Fraction(9, 10)) == 1
+        assert f(Fraction(1, 10)) == 0
+        assert f(Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_f0_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            make_f0(Fraction(3, 4))
+        with pytest.raises(ValueError):
+            make_f0(Fraction(0))
+
+    def test_all_default_family_members_are_dual_feasible(self):
+        widths = [Fraction(1, 3), Fraction(1, 2), Fraction(2, 5)]
+        for f in default_family(widths):
+            assert is_dual_feasible_on_samples(f, denominator=12), f.__name__
+
+    def test_sampling_rejects_non_dff(self):
+        def cheat(x):
+            return min(Fraction(1), x * 2)
+
+        assert not is_dual_feasible_on_samples(cheat, denominator=8)
+
+
+class TestSimpleBounds:
+    def test_oversized_box(self):
+        inst = make_instance([(5, 1, 1)], (4, 4, 4))
+        assert oversized_box_bound(inst) is not None
+        assert volume_bound(inst) is None
+
+    def test_volume(self):
+        inst = make_instance([(2, 2, 2)] * 9, (4, 4, 4))
+        assert volume_bound(inst) is not None
+
+    def test_volume_exact_fit_passes(self):
+        inst = make_instance([(2, 2, 2)] * 8, (4, 4, 4))
+        assert volume_bound(inst) is None
+
+    def test_critical_path(self):
+        inst = make_instance(
+            [(1, 1, 2)] * 3, (4, 4, 5), precedence_arcs=[(0, 1), (1, 2)]
+        )
+        assert critical_path_bound(inst) is not None
+        ok = make_instance(
+            [(1, 1, 2)] * 3, (4, 4, 6), precedence_arcs=[(0, 1), (1, 2)]
+        )
+        assert critical_path_bound(ok) is None
+
+    def test_no_precedence_no_critical_path(self):
+        inst = make_instance([(1, 1, 9)], (4, 4, 4))
+        assert critical_path_bound(inst) is None
+
+
+class TestSpatialConflictBound:
+    def test_exclusive_boxes_must_serialize(self):
+        # Two full-chip boxes of duration 2 in a 3-cycle window.
+        inst = make_instance([(4, 4, 2)] * 2, (4, 4, 3))
+        assert spatial_conflict_bound(inst) is not None
+
+    def test_fit_side_by_side_no_bound(self):
+        inst = make_instance([(2, 4, 2)] * 2, (4, 4, 3))
+        assert spatial_conflict_bound(inst) is None
+
+
+class TestConflictScheduleBound:
+    def test_head_tail_strengthening(self):
+        # Two exclusive 2-cycle boxes, each with a small 1-cycle successor
+        # that is NOT spatially exclusive: the plain clique bound sees only
+        # 2 + 2 = 4 <= 4, but the tail strengthening yields 0 + 4 + 1 = 5.
+        inst = make_instance(
+            [(4, 4, 2), (4, 4, 2), (1, 1, 1), (1, 1, 1)],
+            (5, 5, 4),
+            precedence_arcs=[(0, 2), (1, 3)],
+        )
+        assert spatial_conflict_bound(inst) is None
+        assert conflict_schedule_bound(inst) is not None
+
+    def test_de_t12_on_17_proved(self):
+        """The key UNSAT instance behind Figure 7: latency 12 on 17x17."""
+        from repro.instances.de import de_task_graph
+
+        graph = de_task_graph()
+        from repro.fpga import square_chip
+
+        inst = graph.to_instance(square_chip(17), 12)
+        assert conflict_schedule_bound(inst) is not None
+
+    def test_de_t13_on_17_not_proved(self):
+        from repro.instances.de import de_task_graph
+        from repro.fpga import square_chip
+
+        graph = de_task_graph()
+        inst = graph.to_instance(square_chip(17), 13)
+        assert prove_infeasible(inst) is None  # it is in fact SAT
+
+
+class TestDFFVolumeBound:
+    def test_six_multipliers_cannot_run_concurrently_on_47(self):
+        # DE without precedence at T=2: all six 16x16x2 MULs concurrent;
+        # u^(2) rounds 16/47 up to 1/2 per axis -> 6 * 1/4 * 1 > 1.
+        inst = make_instance([(16, 16, 2)] * 6, (47, 47, 2))
+        assert dff_volume_bound(inst) is not None
+
+    def test_48_fits_and_passes(self):
+        inst = make_instance([(16, 16, 2)] * 6, (48, 48, 2))
+        assert dff_volume_bound(inst) is None
+
+
+class TestMakespanLowerBound:
+    def test_includes_critical_path(self):
+        inst = make_instance(
+            [(1, 1, 3)] * 2, (4, 4, 10), precedence_arcs=[(0, 1)]
+        )
+        assert makespan_lower_bound(inst) >= 6
+
+    def test_includes_volume(self):
+        inst = make_instance([(4, 4, 2)] * 3, (4, 4, 100))
+        assert makespan_lower_bound(inst) >= 6
+
+    def test_includes_conflict_clique(self):
+        inst = make_instance([(3, 3, 2)] * 3, (4, 4, 100))
+        # Pairwise exclusive on a 4x4 chip: serial, 6 cycles.
+        assert makespan_lower_bound(inst) >= 6
+
+
+class TestProveInfeasible:
+    def test_returns_none_on_feasible(self):
+        inst = make_instance([(1, 1, 1)] * 2, (2, 2, 2))
+        assert prove_infeasible(inst) is None
+
+    def test_returns_first_certificate(self):
+        inst = make_instance([(5, 1, 1)], (4, 4, 4))
+        assert "exceeds the container" in prove_infeasible(inst)

@@ -1,0 +1,152 @@
+"""Unit tests for boxes, containers, instances, placements."""
+
+import pytest
+
+from repro.core import Box, Container, PackingInstance, Placement, make_instance
+from repro.core.boxes import boxes_overlap, intervals_overlap
+from repro.graphs import DiGraph
+
+
+class TestBox:
+    def test_basic_properties(self):
+        b = Box((2, 3, 4), name="m")
+        assert b.dimensions == 3
+        assert b.volume == 24
+        assert str(b) == "m(2x3x4)"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box(())
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ValueError):
+            Box((1, 0, 2))
+        with pytest.raises(ValueError):
+            Box((1, -1))
+
+    def test_widths_coerced_to_int_tuple(self):
+        b = Box([2, 3])
+        assert b.widths == (2, 3)
+
+
+class TestContainer:
+    def test_volume(self):
+        assert Container((4, 4, 4)).volume == 64
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Container((4, 0))
+
+    def test_str(self):
+        assert str(Container((3, 5))) == "3x5"
+
+
+class TestPackingInstance:
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PackingInstance([Box((1, 1))], Container((2, 2, 2)))
+
+    def test_precedence_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PackingInstance(
+                [Box((1, 1, 1))], Container((2, 2, 2)), DiGraph(2)
+            )
+
+    def test_cyclic_precedence_rejected(self):
+        dag = DiGraph(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            PackingInstance(
+                [Box((1, 1, 1)), Box((1, 1, 1))], Container((2, 2, 2)), dag
+            )
+
+    def test_time_axis_normalized(self):
+        inst = make_instance([(1, 1, 1)], (2, 2, 2))
+        assert inst.time_axis == 2
+
+    def test_closed_precedence(self):
+        inst = make_instance(
+            [(1, 1, 1)] * 3, (3, 3, 3), precedence_arcs=[(0, 1), (1, 2)]
+        )
+        closure = inst.closed_precedence()
+        assert closure.has_arc(0, 2)
+
+    def test_has_precedence(self):
+        assert not make_instance([(1, 1, 1)], (2, 2, 2)).has_precedence()
+        inst = make_instance([(1, 1, 1)] * 2, (2, 2, 2), precedence_arcs=[(0, 1)])
+        assert inst.has_precedence()
+
+    def test_totals(self):
+        inst = make_instance([(1, 2, 3), (2, 2, 2)], (4, 4, 4))
+        assert inst.total_volume() == 14
+        assert inst.widths_along(1) == [2, 2]
+
+
+class TestIntervalsOverlap:
+    def test_overlapping(self):
+        assert intervals_overlap(0, 3, 2, 2)
+
+    def test_touching_is_disjoint(self):
+        assert not intervals_overlap(0, 2, 2, 2)
+
+    def test_containment(self):
+        assert intervals_overlap(0, 10, 3, 2)
+
+
+class TestPlacement:
+    def make(self, positions, boxes=None, container=(4, 4, 4), arcs=()):
+        boxes = boxes or [(2, 2, 2)] * len(positions)
+        inst = make_instance(boxes, container, precedence_arcs=arcs)
+        return Placement(inst, positions)
+
+    def test_feasible_placement(self):
+        p = self.make([(0, 0, 0), (2, 0, 0)])
+        assert p.is_feasible()
+        assert p.violations() == []
+
+    def test_detects_overlap(self):
+        p = self.make([(0, 0, 0), (1, 1, 1)])
+        assert any("overlap" in v for v in p.violations())
+
+    def test_detects_out_of_bounds(self):
+        p = self.make([(3, 0, 0)])
+        assert any("leaves the container" in v for v in p.violations())
+
+    def test_detects_negative_coordinates(self):
+        p = self.make([(-1, 0, 0)])
+        assert not p.is_feasible()
+
+    def test_detects_precedence_violation(self):
+        p = self.make([(0, 0, 0), (2, 0, 0)], arcs=[(0, 1)])
+        assert any("precedence" in v for v in p.violations())
+
+    def test_precedence_satisfied_when_sequential(self):
+        p = self.make([(0, 0, 0), (0, 0, 2)], arcs=[(0, 1)])
+        assert p.is_feasible()
+
+    def test_transitive_precedence_checked(self):
+        # 0 -> 1 -> 2 given; direct 0 vs 2 conflict must be caught through
+        # the closure even though (0, 2) is not an input arc.
+        boxes = [(1, 1, 1)] * 3
+        p = self.make(
+            [(0, 0, 2), (1, 0, 3), (2, 0, 0)],
+            boxes=boxes,
+            arcs=[(0, 1), (1, 2)],
+        )
+        assert any("precedence" in v for v in p.violations())
+
+    def test_wrong_position_count(self):
+        p = self.make([(0, 0, 0)])
+        p.positions.append((9, 9, 9))
+        assert p.violations()
+
+    def test_makespan(self):
+        p = self.make([(0, 0, 0), (2, 0, 1)])
+        assert p.makespan() == 3
+        empty = Placement(make_instance([], (2, 2, 2)), [])
+        assert empty.makespan() == 0
+
+    def test_boxes_overlap_helper(self):
+        p = self.make([(0, 0, 0), (0, 0, 0)])
+        assert boxes_overlap(p, 0, 1)
+        q = self.make([(0, 0, 0), (0, 0, 2)])
+        assert not boxes_overlap(q, 0, 1)

@@ -1,0 +1,315 @@
+"""Unit tests for the edge-state model and its propagation rules."""
+
+import pytest
+
+from repro.core import (
+    COMPARABILITY,
+    COMPONENT,
+    UNDECIDED,
+    Conflict,
+    EdgeStateModel,
+    PropagationOptions,
+    make_instance,
+)
+
+
+def model_for(widths, container, arcs=(), options=None):
+    inst = make_instance(widths, container, precedence_arcs=arcs)
+    return EdgeStateModel(inst, options)
+
+
+class TestSeed:
+    def test_oversized_box_conflicts(self):
+        m = model_for([(3, 1, 1)], (2, 2, 2))
+        with pytest.raises(Conflict):
+            m.seed()
+
+    def test_wide_pairs_forced_component(self):
+        # Two 2-wide boxes in a 3-wide container cannot sit side by side.
+        m = model_for([(2, 1, 1), (2, 1, 1)], (3, 3, 3))
+        m.seed()
+        assert m.state[0][0][1] == COMPONENT
+
+    def test_precedence_arcs_seeded(self):
+        m = model_for([(1, 1, 1), (1, 1, 1)], (2, 2, 3), arcs=[(0, 1)])
+        m.seed()
+        assert m.state[2][0][1] == COMPARABILITY
+        assert m.orient[2][0][1] == 1
+
+    def test_sequential_pair_too_long_conflicts(self):
+        # Dependent boxes whose durations exceed the horizon.
+        m = model_for([(1, 1, 2), (1, 1, 2)], (2, 2, 3), arcs=[(0, 1)])
+        with pytest.raises(Conflict):
+            m.seed()
+
+    def test_transitive_closure_is_used(self):
+        m = model_for(
+            [(1, 1, 1)] * 3, (3, 3, 5), arcs=[(0, 1), (1, 2)]
+        )
+        m.seed()
+        # The closure arc 0 -> 2 must be seeded even though not given.
+        assert m.orient[2][0][2] == 1
+
+
+class TestC3:
+    def test_all_component_conflicts(self):
+        m = model_for([(1, 1, 1), (1, 1, 1)], (3, 3, 3))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPONENT)
+        m.assign_state(1, 0, 1, COMPONENT)
+        with pytest.raises(Conflict):
+            m.assign_state(2, 0, 1, COMPONENT)
+
+    def test_last_axis_forced_comparability(self):
+        m = model_for([(1, 1, 1), (1, 1, 1)], (3, 3, 3))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPONENT)
+        m.assign_state(1, 0, 1, COMPONENT)
+        assert m.state[2][0][1] == COMPARABILITY
+
+
+class TestC2:
+    def test_chain_overflow_conflicts(self):
+        # Three 2-wide boxes cannot be pairwise disjoint on a 5-wide axis.
+        m = model_for([(2, 1, 1)] * 3, (5, 5, 5))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPARABILITY)
+        m.assign_state(0, 0, 2, COMPARABILITY)
+        with pytest.raises(Conflict):
+            m.assign_state(0, 1, 2, COMPARABILITY)
+
+    def test_chain_exactly_fitting_is_allowed(self):
+        m = model_for([(2, 1, 1)] * 3, (6, 6, 6))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPARABILITY)
+        m.assign_state(0, 0, 2, COMPARABILITY)
+        m.assign_state(0, 1, 2, COMPARABILITY)  # 2+2+2 == 6: fine
+
+    def test_disabled_by_option(self):
+        opts = PropagationOptions(check_c2=False)
+        m = model_for([(2, 1, 1)] * 3, (5, 5, 5), options=opts)
+        m.seed()
+        m.assign_state(0, 0, 1, COMPARABILITY)
+        m.assign_state(0, 0, 2, COMPARABILITY)
+        m.assign_state(0, 1, 2, COMPARABILITY)  # no conflict raised
+
+
+class TestAreaRule:
+    def test_cross_section_overflow_conflicts(self):
+        # Two boxes whose x-y footprints together exceed the chip cannot
+        # overlap in time.
+        m = model_for([(2, 2, 1), (2, 2, 1)], (2, 3, 4))
+        m.seed()
+        with pytest.raises(Conflict):
+            m.assign_state(2, 0, 1, COMPONENT)
+
+    def test_exact_fit_allowed(self):
+        m = model_for([(2, 2, 1), (2, 1, 1)], (2, 3, 4))
+        m.seed()
+        m.assign_state(2, 0, 1, COMPONENT)  # 4 + 2 = 6 == 2*3
+
+    def test_five_squares_overflow_four_by_four_chip(self):
+        # Five 2x2 footprints pairwise fit on a 4x4 chip along each axis,
+        # but cannot all coexist (20 > 16 cells); the clique check fires
+        # once the fifth box joins the time clique.
+        m = model_for([(2, 2, 1)] * 5, (4, 4, 9))
+        m.seed()
+        with pytest.raises(Conflict):
+            for u in range(5):
+                for v in range(u + 1, 5):
+                    m.assign_state(2, u, v, COMPONENT)
+
+    def test_disabled_by_option(self):
+        opts = PropagationOptions(check_area=False, check_c5=False)
+        m = model_for([(2, 2, 1)] * 5, (4, 4, 9), options=opts)
+        m.seed()
+        for u in range(5):
+            for v in range(u + 1, 5):
+                m.assign_state(2, u, v, COMPONENT)  # filter off; leaves decide
+
+
+class TestC4Filter:
+    def c4_setup(self, m):
+        """Fix the cycle edges 0-1, 1-2, 2-3 COMPONENT and both diagonals
+        0-2, 1-3 COMPARABILITY on axis 0."""
+        m.seed()
+        m.assign_state(0, 0, 1, COMPONENT)
+        m.assign_state(0, 1, 2, COMPONENT)
+        m.assign_state(0, 2, 3, COMPONENT)
+        m.assign_state(0, 0, 2, COMPARABILITY)
+        m.assign_state(0, 1, 3, COMPARABILITY)
+
+    def test_completing_c4_conflicts(self):
+        m = model_for([(1, 1, 1)] * 4, (9, 9, 9))
+        self.c4_setup(m)
+        with pytest.raises(Conflict):
+            m.assign_state(0, 0, 3, COMPONENT)
+
+    def test_last_edge_forced_away_from_c4(self):
+        m = model_for([(1, 1, 1)] * 4, (9, 9, 9))
+        self.c4_setup(m)
+        # Propagation already forced 0-3 to COMPARABILITY.
+        assert m.state[0][0][3] == COMPARABILITY
+
+
+class TestImplications:
+    no_sym = PropagationOptions(symmetry_breaking=False)
+
+    def test_path_implication_d1(self):
+        # Edges {0,1} and {0,2} comparability, {1,2} component: orienting
+        # 0 -> 1 must force 0 -> 2.
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9), options=self.no_sym)
+        m.seed()
+        m.assign_state(2, 0, 1, COMPARABILITY)
+        m.assign_state(2, 0, 2, COMPARABILITY)
+        m.assign_state(2, 1, 2, COMPONENT)
+        m.assign_arc(2, 0, 1)
+        assert m.orient[2][0][2] == 1
+
+    def test_path_implication_reverse_direction(self):
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9), options=self.no_sym)
+        m.seed()
+        m.assign_state(2, 0, 1, COMPARABILITY)
+        m.assign_state(2, 0, 2, COMPARABILITY)
+        m.assign_state(2, 1, 2, COMPONENT)
+        m.assign_arc(2, 1, 0)
+        assert m.orient[2][2][0] == 1
+
+    def test_transitivity_implication_d2(self):
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9), options=self.no_sym)
+        m.seed()
+        m.assign_arc(2, 0, 1)
+        m.assign_arc(2, 1, 2)
+        # D2: 0 -> 2 forced, turning the undecided pair comparability.
+        assert m.state[2][0][2] == COMPARABILITY
+        assert m.orient[2][0][2] == 1
+
+    def test_transitivity_conflict_on_component_edge(self):
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9), options=self.no_sym)
+        m.seed()
+        m.assign_state(2, 0, 2, COMPONENT)
+        m.assign_arc(2, 0, 1)
+        with pytest.raises(Conflict):
+            m.assign_arc(2, 1, 2)
+
+    def test_path_conflict_detected(self):
+        # P4 on the time axis: forcing both outer arcs "inward" conflicts
+        # through the implication class (paper's Figure 5 situation).
+        m = model_for([(1, 1, 1)] * 4, (9, 9, 9), options=self.no_sym)
+        m.seed()
+        for pair in [(0, 2), (0, 3), (1, 3)]:
+            m.assign_state(2, *pair, COMPONENT)
+        m.assign_arc(2, 0, 1)
+        m.assign_state(2, 1, 2, COMPARABILITY)
+        m.assign_state(2, 2, 3, COMPARABILITY)
+        with pytest.raises(Conflict):
+            m.assign_arc(2, 3, 2)
+
+    def test_disabled_by_option(self):
+        opts = PropagationOptions(implications=False)
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9), options=opts)
+        m.seed()
+        m.assign_arc(2, 0, 1)
+        m.assign_arc(2, 1, 2)
+        assert m.orient[2][0][2] == 0  # no D2 propagation
+
+
+class TestSymmetryBreaking:
+    def test_identical_unrelated_boxes_get_canonical_order(self):
+        m = model_for([(2, 2, 2), (2, 2, 2)], (9, 9, 9))
+        m.seed()
+        assert (0, 1) in m.symmetric_pairs
+        m.assign_state(2, 0, 1, COMPARABILITY)
+        assert m.orient[2][0][1] == 1  # canonical: lower index first
+
+    def test_precedence_breaks_interchangeability(self):
+        m = model_for([(2, 2, 2), (2, 2, 2)], (9, 9, 9), arcs=[(0, 1)])
+        assert (0, 1) not in m.symmetric_pairs
+
+    def test_different_shapes_not_symmetric(self):
+        m = model_for([(2, 2, 2), (2, 2, 1)], (9, 9, 9))
+        assert (0, 1) not in m.symmetric_pairs
+
+    def test_disabled_by_option(self):
+        opts = PropagationOptions(symmetry_breaking=False)
+        m = model_for([(2, 2, 2), (2, 2, 2)], (9, 9, 9), options=opts)
+        m.seed()
+        m.assign_state(2, 0, 1, COMPARABILITY)
+        assert m.orient[2][0][1] == 0
+
+
+class TestTrail:
+    def test_rollback_restores_everything(self):
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9))
+        m.seed()
+        mark = m.mark()
+        m.assign_arc(2, 0, 1)
+        m.assign_arc(2, 1, 2)
+        assert m.state[2][0][2] == COMPARABILITY
+        m.rollback(mark)
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            assert m.state[2][u][v] == UNDECIDED
+            assert m.orient[2][u][v] == 0
+        # Graph views must be back in sync too.
+        assert m.comparability_graph(2).edge_count() == 0
+
+    def test_rollback_after_conflict(self):
+        m = model_for([(2, 1, 1)] * 3, (5, 5, 5))
+        m.seed()
+        mark = m.mark()
+        m.assign_state(0, 0, 1, COMPARABILITY)
+        m.assign_state(0, 0, 2, COMPARABILITY)
+        with pytest.raises(Conflict):
+            m.assign_state(0, 1, 2, COMPARABILITY)
+        m.rollback(mark)
+        assert m.state[0][0][1] == UNDECIDED
+        assert not m.queue
+
+    def test_double_assignment_same_value_is_noop(self):
+        m = model_for([(1, 1, 1)] * 2, (9, 9, 9))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPONENT)
+        before = len(m.trail)
+        m.assign_state(0, 0, 1, COMPONENT)
+        assert len(m.trail) == before
+
+    def test_contradicting_assignment_raises(self):
+        m = model_for([(1, 1, 1)] * 2, (9, 9, 9))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPONENT)
+        with pytest.raises(Conflict):
+            m.assign_state(0, 0, 1, COMPARABILITY)
+
+
+class TestViews:
+    def test_views_reflect_assignments(self):
+        m = model_for([(1, 1, 1)] * 3, (9, 9, 9))
+        m.seed()
+        m.assign_state(0, 0, 1, COMPONENT)
+        m.assign_state(0, 1, 2, COMPARABILITY)
+        assert m.component_graph(0).has_edge(0, 1)
+        assert m.comparability_graph(0).has_edge(1, 2)
+        assert not m.component_graph(0).has_edge(1, 2)
+
+    def test_views_are_copies(self):
+        m = model_for([(1, 1, 1)] * 2, (9, 9, 9))
+        m.seed()
+        view = m.component_graph(0)
+        view.add_edge(0, 1)
+        assert not m.component_graph(0).has_edge(0, 1)
+
+    def test_undecided_iteration_and_completeness(self):
+        m = model_for([(1, 1, 1)] * 2, (9, 9, 9))
+        m.seed()
+        assert len(list(m.undecided())) == 3
+        assert not m.is_complete()
+        m.assign_state(0, 0, 1, COMPONENT)
+        m.assign_state(1, 0, 1, COMPONENT)
+        # C3 forces the time axis; everything is now decided.
+        assert m.is_complete()
+
+    def test_oriented_arcs(self):
+        m = model_for([(1, 1, 1)] * 2, (9, 9, 9), arcs=[(0, 1)])
+        m.seed()
+        assert m.oriented_arcs(2) == [(0, 1)]
+        assert m.oriented_arcs(0) == []

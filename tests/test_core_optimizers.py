@@ -1,0 +1,177 @@
+"""Tests for BMP (MinA&FindS), SPP (MinT&FindS), and the Pareto front."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Box,
+    OPTIMAL,
+    INFEASIBLE,
+    SolverOptions,
+    base_lower_bound,
+    minimize_base,
+    minimize_makespan,
+    minimal_latency,
+    pareto_filter,
+    pareto_front,
+)
+from repro.core.pareto import ParetoPoint
+from repro.graphs import DiGraph
+
+
+def boxes_of(widths):
+    return [Box(w, name=f"b{i}") for i, w in enumerate(widths)]
+
+
+class TestBaseLowerBound:
+    def test_widest_box(self):
+        assert base_lower_bound(boxes_of([(5, 2, 1)]), time_bound=10) >= 5
+
+    def test_volume_argument(self):
+        # 8 unit-footprint boxes of duration 1 with deadline 2: s^2*2 >= 8.
+        assert base_lower_bound(boxes_of([(1, 1, 1)] * 8), time_bound=2) >= 2
+
+
+class TestMinimizeBase:
+    def test_single_box(self):
+        r = minimize_base(boxes_of([(3, 2, 1)]), time_bound=1)
+        assert r.status == OPTIMAL
+        assert r.optimum == 3
+
+    def test_empty(self):
+        r = minimize_base([], time_bound=1)
+        assert r.status == OPTIMAL
+        assert r.optimum == 0
+
+    def test_two_squares_sequential_vs_parallel(self):
+        squares = boxes_of([(2, 2, 1), (2, 2, 1)])
+        # Deadline 1: must run side by side -> 4x4 never needed, 4 wide is
+        # minimal among squares? both 2x2 at once needs a 4x2 strip; the
+        # minimal square is 4... no: 2x4 fits in a 4x4, but a 3x3 cannot
+        # host two 2x2 side by side (2+2 > 3), so the optimum is 4.
+        r1 = minimize_base(squares, time_bound=1)
+        assert (r1.status, r1.optimum) == (OPTIMAL, 4)
+        # Deadline 2: they can run one after the other on a 2x2 chip.
+        r2 = minimize_base(squares, time_bound=2)
+        assert (r2.status, r2.optimum) == (OPTIMAL, 2)
+
+    def test_precedence_forces_infeasible_deadline(self):
+        dag = DiGraph(2, [(0, 1)])
+        r = minimize_base(boxes_of([(1, 1, 2)] * 2), dag, time_bound=3)
+        assert r.status == INFEASIBLE
+
+    def test_duration_longer_than_deadline_infeasible(self):
+        r = minimize_base(boxes_of([(1, 1, 5)]), time_bound=4)
+        assert r.status == INFEASIBLE
+
+    def test_placement_attached_and_valid(self):
+        r = minimize_base(boxes_of([(2, 2, 2), (2, 2, 2)]), time_bound=2)
+        assert r.placement is not None
+        assert r.placement.is_feasible()
+        assert r.placement.instance.container.sizes[0] == r.optimum
+
+    def test_probe_log_is_recorded(self):
+        r = minimize_base(boxes_of([(2, 2, 1), (2, 2, 1)]), time_bound=1)
+        assert r.probes
+        assert {p.status for p in r.probes} <= {"sat", "unsat", "unknown"}
+
+    def test_unknown_when_limited(self):
+        # A zero node budget and disabled shortcuts cannot conclude.
+        options = SolverOptions(
+            use_bounds=False, use_heuristics=False, node_limit=0
+        )
+        r = minimize_base(
+            boxes_of([(2, 2, 1), (2, 2, 1)]), time_bound=1, options=options
+        )
+        assert r.status == "unknown"
+
+
+class TestMinimizeMakespan:
+    def test_single_box(self):
+        r = minimize_makespan(boxes_of([(2, 2, 3)]), chip=(2, 2))
+        assert (r.status, r.optimum) == (OPTIMAL, 3)
+
+    def test_footprint_too_small(self):
+        r = minimize_makespan(boxes_of([(3, 1, 1)]), chip=(2, 4))
+        assert r.status == INFEASIBLE
+
+    def test_serialization_on_tight_chip(self):
+        r = minimize_makespan(boxes_of([(2, 2, 2)] * 3), chip=(2, 2))
+        assert (r.status, r.optimum) == (OPTIMAL, 6)
+
+    def test_parallel_on_big_chip(self):
+        r = minimize_makespan(boxes_of([(2, 2, 2)] * 3), chip=(6, 2))
+        assert (r.status, r.optimum) == (OPTIMAL, 2)
+
+    def test_precedence_chain(self):
+        dag = DiGraph(3, [(0, 1), (1, 2)])
+        r = minimize_makespan(boxes_of([(1, 1, 2)] * 3), dag, chip=(4, 4))
+        assert (r.status, r.optimum) == (OPTIMAL, 6)
+
+    def test_empty(self):
+        assert minimize_makespan([], chip=(2, 2)).optimum == 0
+
+    def test_placement_attached(self):
+        r = minimize_makespan(boxes_of([(2, 2, 2)] * 2), chip=(2, 2))
+        assert r.placement is not None and r.placement.is_feasible()
+        assert r.placement.makespan() == r.optimum
+
+
+class TestParetoFilter:
+    def test_dominated_points_removed(self):
+        pts = [ParetoPoint(2, 5), ParetoPoint(3, 5), ParetoPoint(4, 4)]
+        kept = pareto_filter(pts)
+        assert [(p.time_bound, p.side) for p in kept] == [(2, 5), (4, 4)]
+
+    def test_duplicates_removed(self):
+        pts = [ParetoPoint(2, 5), ParetoPoint(2, 5)]
+        assert len(pareto_filter(pts)) == 1
+
+    def test_empty(self):
+        assert pareto_filter([]) == []
+
+
+class TestMinimalLatency:
+    def test_with_precedence(self):
+        dag = DiGraph(2, [(0, 1)])
+        assert minimal_latency(boxes_of([(1, 1, 2), (1, 1, 3)]), dag) == 5
+
+    def test_without_precedence(self):
+        assert minimal_latency(boxes_of([(1, 1, 2), (1, 1, 3)]), None) == 3
+
+
+class TestParetoFront:
+    def test_simple_tradeoff(self):
+        # Two 2x2x1 squares: (T=1, s=4) and (T=2, s=2).
+        front = pareto_front(boxes_of([(2, 2, 1), (2, 2, 1)]))
+        assert front.as_pairs() == [(1, 4), (2, 2)]
+
+    def test_front_is_antichain(self):
+        front = pareto_front(boxes_of([(2, 2, 1), (1, 1, 2), (2, 1, 1)]))
+        pts = front.points
+        for p in pts:
+            for q in pts:
+                if p is not q:
+                    assert not p.dominates(q)
+
+    def test_sweep_is_monotone(self):
+        front = pareto_front(boxes_of([(2, 2, 2), (2, 2, 1), (1, 2, 2)]))
+        sides = [p.side for p in front.sweep]
+        assert sides == sorted(sides, reverse=True) or all(
+            sides[i] >= sides[i + 1] for i in range(len(sides) - 1)
+        )
+
+    def test_precedence_shifts_front(self):
+        boxes = [(2, 2, 1), (2, 2, 1)]
+        dag = DiGraph(2, [(0, 1)])
+        with_prec = pareto_front(boxes_of(boxes), dag)
+        without = pareto_front(boxes_of(boxes))
+        # With the chain, T=1 is impossible; the front starts at T=2.
+        assert with_prec.as_pairs() == [(2, 2)]
+        assert without.as_pairs()[0] == (1, 4)
+
+    def test_empty(self):
+        assert pareto_front([]).points == []

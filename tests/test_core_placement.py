@@ -1,0 +1,112 @@
+"""Tests for packing-class <-> placement conversion (Theorem 1 round trips)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_instance
+from repro.core.placement import (
+    component_graphs_of_placement,
+    extract_placement,
+    placement_from_orientations,
+    positions_from_orientation,
+)
+from repro.graphs import Graph, is_interval_graph
+from repro.instances.random_instances import random_perfect_packing
+
+
+class TestPositionsFromOrientation:
+    def test_chain_layout(self):
+        pos = positions_from_orientation(3, [(0, 1), (1, 2), (0, 2)], [2, 3, 1])
+        assert pos == [0, 2, 5]
+
+    def test_antichain_all_zero(self):
+        assert positions_from_orientation(3, [], [2, 3, 1]) == [0, 0, 0]
+
+    def test_diamond(self):
+        arcs = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]
+        pos = positions_from_orientation(4, arcs, [1, 5, 2, 1])
+        assert pos == [0, 1, 1, 6]
+
+
+class TestExtractPlacement:
+    def test_two_boxes_separated_in_x(self):
+        inst = make_instance([(1, 1, 1), (1, 1, 1)], (2, 1, 1))
+        # Component graphs: overlap in y and t, disjoint in x.
+        gx = Graph(2)
+        gy = Graph(2, [(0, 1)])
+        gt = Graph(2, [(0, 1)])
+        placement = extract_placement(inst, [gx, gy, gt], [[], [], []])
+        assert placement is not None
+        assert placement.is_feasible()
+        xs = sorted(p[0] for p in placement.positions)
+        assert xs == [0, 1]
+
+    def test_respects_forced_time_arcs(self):
+        inst = make_instance(
+            [(1, 1, 1), (1, 1, 1)], (1, 1, 2), precedence_arcs=[(1, 0)]
+        )
+        gx = Graph(2, [(0, 1)])
+        gy = Graph(2, [(0, 1)])
+        gt = Graph(2)
+        placement = extract_placement(inst, [gx, gy, gt], [[], [], [(1, 0)]])
+        assert placement is not None
+        assert placement.start(1, 2) == 0
+        assert placement.start(0, 2) == 1
+
+    def test_infeasible_orientation_returns_none(self):
+        # Time comparability graph is a C5 (not transitively orientable):
+        # component graph = complement of C5 = C5.
+        inst = make_instance([(1, 1, 1)] * 5, (9, 9, 9))
+        c5 = Graph(5, [(i, (i + 1) % 5) for i in range(5)])
+        full = Graph(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+        placement = extract_placement(inst, [full, full, c5], [[], [], []])
+        assert placement is None
+
+
+class TestTheorem1RoundTrip:
+    """Component graphs of a feasible packing form a packing class, and the
+    class converts back to a feasible packing."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_perfect_packings(self, seed):
+        rng = random.Random(seed)
+        instance, placement = random_perfect_packing(rng, (5, 5, 5), 6)
+        assert placement.is_feasible()
+        graphs = component_graphs_of_placement(placement)
+        # C1: interval graphs.
+        for g in graphs:
+            assert is_interval_graph(g)
+        # C3: no pair overlaps everywhere.
+        for u in range(instance.n):
+            for v in range(u + 1, instance.n):
+                assert not all(g.has_edge(u, v) for g in graphs)
+        # Sufficiency: extraction yields a feasible packing again.
+        rebuilt = extract_placement(instance, graphs, [[], [], []])
+        assert rebuilt is not None
+        assert rebuilt.is_feasible()
+        # ... with identical overlap structure.
+        assert [
+            sorted(g.edges()) for g in component_graphs_of_placement(rebuilt)
+        ] == [sorted(g.edges()) for g in graphs]
+
+    def test_component_graphs_match_manual(self):
+        inst = make_instance([(2, 2, 2), (2, 2, 2)], (4, 2, 2))
+        from repro.core import Placement
+
+        placement = Placement(inst, [(0, 0, 0), (2, 0, 0)])
+        gx, gy, gt = component_graphs_of_placement(placement)
+        assert not gx.has_edge(0, 1)
+        assert gy.has_edge(0, 1)
+        assert gt.has_edge(0, 1)
+
+
+class TestPlacementFromOrientations:
+    def test_full_stack(self):
+        inst = make_instance([(1, 2, 3), (1, 2, 3)], (1, 2, 6))
+        orientations = [[], [], [(0, 1)]]
+        placement = placement_from_orientations(inst, orientations)
+        assert placement.positions == [(0, 0, 0), (0, 0, 3)]

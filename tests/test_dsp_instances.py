@@ -1,0 +1,97 @@
+"""Tests for the parametric DSP workloads (FIR, FFT)."""
+
+import pytest
+
+from repro.fpga import minimize_chip, minimize_latency, place, square_chip
+from repro.instances.dsp import (
+    DEFAULT_ADD,
+    DEFAULT_MUL,
+    fft_task_graph,
+    fir_critical_path,
+    fir_filter_task_graph,
+)
+from repro.fpga.module_library import ModuleType
+
+
+class TestFIRStructure:
+    @pytest.mark.parametrize("taps", [1, 2, 3, 4, 5, 7, 8, 16])
+    def test_counts(self, taps):
+        g = fir_filter_task_graph(taps)
+        assert g.n == taps + (taps - 1)  # taps multipliers + adder tree
+        assert len(g.arcs()) == 2 * (taps - 1)
+        assert g.dependency_dag().is_acyclic()
+
+    @pytest.mark.parametrize("taps", [1, 2, 3, 4, 5, 6, 7, 8, 9, 16])
+    def test_critical_path_formula(self, taps):
+        g = fir_filter_task_graph(taps)
+        assert g.critical_path_length() == fir_critical_path(taps)
+
+    def test_invalid_taps(self):
+        with pytest.raises(ValueError):
+            fir_filter_task_graph(0)
+
+    def test_custom_modules(self):
+        tiny_mul = ModuleType("M", 2, 2, 1)
+        tiny_add = ModuleType("A", 2, 1, 1)
+        g = fir_filter_task_graph(4, tiny_mul, tiny_add)
+        assert g.critical_path_length() == 3
+        assert g.task("mul0").module is tiny_mul
+
+    def test_every_adder_has_two_inputs(self):
+        g = fir_filter_task_graph(8)
+        dag = g.dependency_dag()
+        for i, task in enumerate(g.tasks):
+            if task.module.name == "ADD":
+                assert dag.in_degree(i) == 2
+
+
+class TestFFTStructure:
+    @pytest.mark.parametrize("points,stages", [(2, 1), (4, 2), (8, 3), (16, 4)])
+    def test_counts(self, points, stages):
+        g = fft_task_graph(points)
+        assert g.n == stages * points // 2
+        assert g.dependency_dag().is_acyclic()
+
+    def test_critical_path_is_stage_chain(self):
+        g = fft_task_graph(8)
+        # 3 stages of 2-cycle butterflies.
+        assert g.critical_path_length() == 6
+
+    def test_every_late_butterfly_has_two_producers(self):
+        g = fft_task_graph(8)
+        dag = g.dependency_dag()
+        for i, task in enumerate(g.tasks):
+            stage = int(task.name.split("_")[0][2:])
+            if stage > 0:
+                assert dag.in_degree(i) == 2
+
+    def test_rejects_non_powers_of_two(self):
+        with pytest.raises(ValueError):
+            fft_task_graph(3)
+        with pytest.raises(ValueError):
+            fft_task_graph(1)
+
+
+class TestDSPEndToEnd:
+    def test_fir4_design_space(self):
+        g = fir_filter_task_graph(4)
+        cp = g.critical_path_length()
+        best = minimize_chip(g, cp)
+        assert best.status == "optimal"
+        assert best.optimum == 32  # 4 multipliers concurrently, 2x2 tiles
+        relaxed = minimize_chip(g, cp + 6)
+        assert relaxed.optimum <= 17
+
+    def test_fft4_feasible_at_critical_path(self):
+        g = fft_task_graph(4)
+        outcome = place(g, square_chip(32), g.critical_path_length())
+        assert outcome.status == "sat"
+        assert outcome.schedule.is_feasible()
+
+    def test_fir8_latency_on_small_chip(self):
+        g = fir_filter_task_graph(8)
+        # On a 16x16 chip multipliers serialize: 8 x 2 cycles, plus a final
+        # adder cycle at least.
+        result = minimize_latency(g, square_chip(16))
+        assert result.status == "optimal"
+        assert result.optimum >= 17

@@ -1,0 +1,159 @@
+"""Stateful property tests for the edge-state model.
+
+Random interleavings of assignments, propagation cascades, and rollbacks
+must preserve the model's invariants: symmetric states, antisymmetric
+orientations consistent with the states, graph views in sync with the
+state matrices, and exact trail-based restoration.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    COMPARABILITY,
+    COMPONENT,
+    UNDECIDED,
+    Conflict,
+    EdgeStateModel,
+    make_instance,
+)
+
+
+def check_invariants(model):
+    n, d = model.n, model.d
+    for axis in range(d):
+        comp_view = model._component_views[axis]
+        compar_view = model._comparability_views[axis]
+        for u in range(n):
+            for v in range(u + 1, n):
+                state = model.state[axis][u][v]
+                # Symmetry.
+                assert state == model.state[axis][v][u]
+                # Views in sync.
+                assert comp_view.has_edge(u, v) == (state == COMPONENT)
+                assert compar_view.has_edge(u, v) == (state == COMPARABILITY)
+                # Orientation consistency.
+                orient = model.orient[axis][u][v]
+                assert orient == -model.orient[axis][v][u]
+                if orient != 0:
+                    assert state == COMPARABILITY
+                # C3 is never violated on fully decided pairs.
+                if all(
+                    model.state[a][u][v] == COMPONENT for a in range(d)
+                ):
+                    raise AssertionError("C3 violated without a conflict")
+
+
+def snapshot(model):
+    return (
+        [[row[:] for row in axis] for axis in model.state],
+        [[row[:] for row in axis] for axis in model.orient],
+    )
+
+
+@st.composite
+def scenario(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000_000))
+    steps = draw(st.integers(min_value=1, max_value=40))
+    return seed, steps
+
+
+class TestStatefulTrail:
+    @given(scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_random_walk_preserves_invariants(self, params):
+        seed, steps = params
+        rng = random.Random(seed)
+        n = rng.randint(3, 6)
+        boxes = [
+            tuple(rng.randint(1, 3) for _ in range(3)) for _ in range(n)
+        ]
+        arcs = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.15
+        ]
+        inst = make_instance(boxes, (6, 6, 6), precedence_arcs=arcs)
+        model = EdgeStateModel(inst)
+        try:
+            model.seed()
+        except Conflict:
+            return  # root-infeasible instance: nothing to walk
+        check_invariants(model)
+        stack = []  # (mark, snapshot)
+        for _ in range(steps):
+            action = rng.random()
+            if action < 0.6:
+                u = rng.randrange(n)
+                v = rng.randrange(n)
+                if u == v:
+                    continue
+                axis = rng.randrange(3)
+                value = rng.choice([COMPONENT, COMPARABILITY])
+                mark = model.mark()
+                before = snapshot(model)
+                try:
+                    model.assign_state(axis, min(u, v), max(u, v), value)
+                    stack.append((mark, before))
+                except Conflict:
+                    model.rollback(mark)
+                    assert snapshot(model) == before
+                check_invariants(model)
+            elif action < 0.8 and stack:
+                mark, before = stack.pop()
+                model.rollback(mark)
+                assert snapshot(model) == before
+                check_invariants(model)
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                axis = 2
+                mark = model.mark()
+                before = snapshot(model)
+                try:
+                    model.assign_arc(axis, u, v)
+                    stack.append((mark, before))
+                except Conflict:
+                    model.rollback(mark)
+                    assert snapshot(model) == before
+                check_invariants(model)
+        # Unwind everything: the model must return to its seeded state.
+        while stack:
+            mark, before = stack.pop()
+            model.rollback(mark)
+            assert snapshot(model) == before
+        check_invariants(model)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_full_rollback_restores_seed_state(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 5)
+        boxes = [tuple(rng.randint(1, 2) for _ in range(3)) for _ in range(n)]
+        inst = make_instance(boxes, (4, 4, 4))
+        model = EdgeStateModel(inst)
+        try:
+            model.seed()
+        except Conflict:
+            return
+        baseline = snapshot(model)
+        mark = model.mark()
+        for _ in range(10):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            try:
+                model.assign_state(
+                    rng.randrange(3),
+                    min(u, v),
+                    max(u, v),
+                    rng.choice([COMPONENT, COMPARABILITY]),
+                )
+            except Conflict:
+                break
+        model.rollback(mark)
+        assert snapshot(model) == baseline

@@ -1,0 +1,218 @@
+"""Tests for the FPGA domain model: modules, chips, tasks, graphs, schedules."""
+
+import pytest
+
+from repro.fpga import (
+    Chip,
+    ModuleLibrary,
+    ModuleType,
+    ReconfigurationSchedule,
+    ScheduledTask,
+    TaskGraph,
+    square_chip,
+)
+
+
+MUL = ModuleType("MUL", width=16, height=16, duration=2)
+ALU = ModuleType("ALU", width=16, height=1, duration=1)
+
+
+class TestModuleType:
+    def test_properties(self):
+        assert MUL.cells == 256
+        assert MUL.total_time == 2
+        assert str(MUL.box("m1")) == "m1(16x16x2)"
+
+    def test_reconfiguration_overhead_extends_duration(self):
+        m = ModuleType("X", width=2, height=2, duration=3, reconfig_time=2)
+        assert m.total_time == 5
+        assert m.box().widths == (2, 2, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModuleType("bad", width=0, height=1, duration=1)
+        with pytest.raises(ValueError):
+            ModuleType("bad", width=1, height=1, duration=0)
+        with pytest.raises(ValueError):
+            ModuleType("bad", width=1, height=1, duration=1, reconfig_time=-1)
+
+
+class TestModuleLibrary:
+    def test_add_get_iterate(self):
+        lib = ModuleLibrary([MUL])
+        lib.define("ALU", 16, 1, 1)
+        assert "ALU" in lib
+        assert lib.get("MUL") is MUL
+        assert len(lib) == 2
+        assert lib.names() == ["ALU", "MUL"]
+
+    def test_duplicate_rejected(self):
+        lib = ModuleLibrary([MUL])
+        with pytest.raises(ValueError):
+            lib.add(MUL)
+
+    def test_missing_module(self):
+        with pytest.raises(KeyError):
+            ModuleLibrary().get("nope")
+
+
+class TestChip:
+    def test_properties(self):
+        chip = Chip(32, 16, name="dev")
+        assert chip.cells == 512
+        assert not chip.is_square
+        assert square_chip(8).is_square
+        assert str(chip) == "dev (32x16)"
+
+    def test_container(self):
+        c = Chip(4, 5).container(7)
+        assert c.sizes == (4, 5, 7)
+        with pytest.raises(ValueError):
+            Chip(4, 5).container(0)
+
+    def test_fits_module(self):
+        assert Chip(16, 16).fits_module(16, 16)
+        assert not Chip(16, 16).fits_module(17, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Chip(0, 4)
+
+
+class TestTaskGraph:
+    def build(self):
+        g = TaskGraph("t")
+        g.add_task("a", MUL)
+        g.add_task("b", ALU)
+        g.add_task("c", ALU)
+        g.add_dependency("a", "b")
+        g.add_chain("b", "c")
+        return g
+
+    def test_construction(self):
+        g = self.build()
+        assert g.n == 3
+        assert g.arc_names() == [("a", "b"), ("b", "c")]
+        assert g.durations() == [2, 1, 1]
+        assert g.critical_path_length() == 4
+
+    def test_duplicate_task_rejected(self):
+        g = self.build()
+        with pytest.raises(ValueError):
+            g.add_task("a", ALU)
+
+    def test_self_dependency_rejected(self):
+        g = self.build()
+        with pytest.raises(ValueError):
+            g.add_dependency("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = self.build()
+        with pytest.raises(ValueError):
+            g.add_dependency("c", "a")
+        assert ("c", "a") not in g.arc_names()
+
+    def test_unknown_task(self):
+        g = self.build()
+        with pytest.raises(KeyError):
+            g.add_dependency("a", "zz")
+
+    def test_closure(self):
+        g = self.build()
+        closed = g.closed_dependency_dag()
+        assert closed.has_arc(0, 2)
+
+    def test_to_instance(self):
+        g = self.build()
+        inst = g.to_instance(square_chip(16), 4)
+        assert inst.n == 3
+        assert inst.container.sizes == (16, 16, 4)
+        assert inst.precedence is not None
+
+    def test_without_dependencies(self):
+        g = self.build()
+        free = g.without_dependencies()
+        assert free.n == 3
+        assert free.arcs() == []
+        assert g.arc_names()  # original untouched
+
+    def test_total_cells_time(self):
+        g = self.build()
+        assert g.total_cells_time() == 16 * 16 * 2 + 16 * 1 + 16 * 1
+
+
+class TestSchedule:
+    def build(self):
+        g = TaskGraph("s")
+        g.add_task("a", MUL)
+        g.add_task("b", ALU)
+        g.add_dependency("a", "b")
+        chip = square_chip(17)
+        entries = [
+            ScheduledTask(g.task("a"), x=0, y=0, start=0),
+            ScheduledTask(g.task("b"), x=0, y=16, start=2),
+        ]
+        return g, chip, ReconfigurationSchedule(g, chip, entries)
+
+    def test_feasible(self):
+        _, _, s = self.build()
+        assert s.is_feasible()
+        assert s.makespan == 3
+        assert s.entry("a").end == 2
+
+    def test_missing_entry(self):
+        _, _, s = self.build()
+        with pytest.raises(KeyError):
+            s.entry("zz")
+
+    def test_detects_chip_overflow(self):
+        g, chip, s = self.build()
+        bad = ReconfigurationSchedule(
+            g, chip, [ScheduledTask(g.task("a"), 5, 0, 0), s.entries[1]]
+        )
+        assert any("horizontally" in v for v in bad.violations())
+
+    def test_detects_cell_conflict(self):
+        g, chip, _ = self.build()
+        bad = ReconfigurationSchedule(
+            g,
+            chip,
+            [
+                ScheduledTask(g.task("a"), 0, 0, 0),
+                ScheduledTask(g.task("b"), 0, 0, 2),
+            ],
+        )
+        # b starts when a ends: no time overlap, still fine.
+        assert bad.is_feasible()
+        worse = ReconfigurationSchedule(
+            g,
+            chip,
+            [
+                ScheduledTask(g.task("a"), 0, 0, 0),
+                ScheduledTask(g.task("b"), 0, 0, 1),
+            ],
+        )
+        problems = worse.violations()
+        assert any("same cells" in v for v in problems)
+        assert any("dependency" in v for v in problems)
+
+    def test_gantt_contains_all_tasks(self):
+        _, _, s = self.build()
+        chart = s.gantt()
+        assert "a" in chart and "b" in chart
+        assert "#" in chart
+
+    def test_floorplan_rendering(self):
+        _, _, s = self.build()
+        plan = s.floorplan(0, max_cells=20)
+        assert "A=a" in plan
+        assert "idle" in s.floorplan(2_000)
+
+    def test_table_rendering(self):
+        _, _, s = self.build()
+        text = s.table()
+        assert "MUL" in text and "[0,2)" in text
+
+    def test_start_times(self):
+        _, _, s = self.build()
+        assert s.start_times() == [0, 2]

@@ -1,0 +1,119 @@
+"""Tests for the top-level placement API (the paper's problem suite)."""
+
+import pytest
+
+from repro.core import SolverOptions
+from repro.fpga import (
+    ModuleType,
+    TaskGraph,
+    explore_tradeoffs,
+    minimize_chip,
+    minimize_chip_fixed_schedule,
+    minimize_latency,
+    place,
+    place_fixed_schedule,
+    square_chip,
+)
+
+SQ = ModuleType("SQ", width=2, height=2, duration=1)
+BAR = ModuleType("BAR", width=4, height=1, duration=2)
+
+
+def small_graph():
+    g = TaskGraph("small")
+    g.add_task("s0", SQ)
+    g.add_task("s1", SQ)
+    g.add_task("bar", BAR)
+    g.add_dependency("s0", "bar")
+    return g
+
+
+class TestPlace:
+    def test_feasible(self):
+        outcome = place(small_graph(), square_chip(4), time_bound=3)
+        assert outcome.is_feasible
+        assert outcome.schedule.is_feasible()
+
+    def test_infeasible_reports_certificate(self):
+        outcome = place(small_graph(), square_chip(4), time_bound=2)
+        assert not outcome.is_feasible
+        assert outcome.status == "unsat"
+        assert outcome.certificate  # critical path 1 + 2 = 3 > 2
+
+    def test_schedule_respects_dependency(self):
+        outcome = place(small_graph(), square_chip(4), time_bound=4)
+        s = outcome.schedule
+        assert s.entry("bar").start >= s.entry("s0").end
+
+
+class TestMinimizeChip:
+    def test_optimal_side(self):
+        # At the 3-cycle deadline, s1 can run alongside bar (2+... chip 4
+        # suffices; chip 3 cannot host the 4-wide BAR).
+        outcome = minimize_chip(small_graph(), time_bound=3)
+        assert outcome.status == "optimal"
+        assert outcome.optimum == 4
+        assert outcome.chip.is_square
+        assert outcome.schedule.is_feasible()
+
+    def test_infeasible_deadline(self):
+        outcome = minimize_chip(small_graph(), time_bound=2)
+        assert outcome.status == "infeasible"
+        assert outcome.chip is None
+
+
+class TestMinimizeLatency:
+    def test_optimal_latency(self):
+        outcome = minimize_latency(small_graph(), square_chip(4))
+        assert outcome.status == "optimal"
+        assert outcome.optimum == 3
+        assert outcome.schedule.makespan == 3
+
+    def test_infeasible_chip(self):
+        outcome = minimize_latency(small_graph(), square_chip(3))
+        assert outcome.status == "infeasible"
+
+
+class TestFixedScheduleAPI:
+    def test_roundtrip(self):
+        g = small_graph()
+        starts = [0, 0, 1]
+        outcome = place_fixed_schedule(g, square_chip(4), starts)
+        assert outcome.is_feasible
+        assert outcome.schedule.start_times() == starts
+
+    def test_minimize_chip_fixed(self):
+        g = small_graph()
+        outcome = minimize_chip_fixed_schedule(g, [0, 0, 1])
+        assert outcome.status == "optimal"
+        assert outcome.optimum == 4
+
+    def test_everything_concurrent_needs_more_space(self):
+        g = TaskGraph("c")
+        for i in range(4):
+            g.add_task(f"t{i}", SQ)
+        outcome = minimize_chip_fixed_schedule(g, [0, 0, 0, 0])
+        assert outcome.optimum == 4  # 2x2 of 2x2 squares
+        staggered = minimize_chip_fixed_schedule(g, [0, 1, 2, 3])
+        assert staggered.optimum == 2
+
+
+class TestExploreTradeoffs:
+    def test_with_and_without_dependencies(self):
+        g = small_graph()
+        with_dep = explore_tradeoffs(g, with_dependencies=True)
+        without = explore_tradeoffs(g, with_dependencies=False)
+        assert with_dep.points[0].time_bound == 3
+        assert without.points[0].time_bound == 2
+        # Dropping constraints can only improve (or keep) every point.
+        for t, s in without.as_pairs():
+            dominated = [ps for pt, ps in with_dep.as_pairs() if pt <= t]
+            if dominated:
+                assert min(dominated) >= s
+
+    def test_options_passed_through(self):
+        g = small_graph()
+        front = explore_tradeoffs(
+            g, options=SolverOptions(time_limit=30)
+        )
+        assert front.points

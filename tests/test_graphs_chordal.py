@@ -1,0 +1,150 @@
+"""Unit tests for chordality machinery (Lex-BFS, PEO, cliques)."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    find_induced_c4,
+    is_chordal,
+    is_perfect_elimination_order,
+    lex_bfs,
+    maximal_cliques_chordal,
+    perfect_elimination_order,
+)
+
+
+def cycle_graph(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n):
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def brute_force_chordal(g):
+    """Every cycle of length >= 4 has a chord: check all induced cycles by
+    checking all vertex subsets of size >= 4 for being induced cycles."""
+    for k in range(4, g.n + 1):
+        for subset in itertools.combinations(range(g.n), k):
+            sub, _ = g.induced_subgraph(subset)
+            degrees = [sub.degree(v) for v in range(sub.n)]
+            if all(d == 2 for d in degrees) and len(sub.connected_components()) == 1:
+                return False
+    return True
+
+
+class TestLexBFS:
+    def test_is_permutation(self):
+        g = cycle_graph(6)
+        order = lex_bfs(g)
+        assert sorted(order) == list(range(6))
+
+    def test_empty(self):
+        assert lex_bfs(Graph(0)) == []
+
+    def test_start_vertex_first(self):
+        g = complete_graph(4)
+        assert lex_bfs(g, start=2)[0] == 2
+
+
+class TestPEO:
+    def test_chain_peo(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert is_perfect_elimination_order(g, [0, 2, 1])
+        assert is_perfect_elimination_order(g, [0, 1, 2])
+
+    def test_c4_has_no_peo(self):
+        g = cycle_graph(4)
+        for order in itertools.permutations(range(4)):
+            assert not is_perfect_elimination_order(g, list(order))
+
+    def test_rejects_non_permutation(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            is_perfect_elimination_order(g, [0, 1])
+
+
+class TestIsChordal:
+    def test_small_known_graphs(self):
+        assert is_chordal(complete_graph(5))
+        assert is_chordal(Graph(4, [(0, 1), (1, 2), (2, 3)]))  # path
+        assert is_chordal(cycle_graph(3))
+        assert not is_chordal(cycle_graph(4))
+        assert not is_chordal(cycle_graph(5))
+
+    def test_c4_plus_chord_is_chordal(self):
+        g = cycle_graph(4)
+        g.add_edge(0, 2)
+        assert is_chordal(g)
+
+    def test_against_brute_force_all_graphs_n5(self):
+        n = 5
+        pairs = list(itertools.combinations(range(n), 2))
+        # Exhaustive over all 2^10 graphs on 5 vertices.
+        for mask in range(1 << len(pairs)):
+            g = Graph(n, [pairs[i] for i in range(len(pairs)) if mask >> i & 1])
+            assert is_chordal(g) == brute_force_chordal(g), repr(g)
+
+    def test_perfect_elimination_order_returned(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        peo = perfect_elimination_order(g)
+        assert peo is not None
+        assert is_perfect_elimination_order(g, peo)
+
+    def test_perfect_elimination_order_none_for_c4(self):
+        assert perfect_elimination_order(cycle_graph(4)) is None
+
+
+class TestMaximalCliques:
+    def test_complete_graph_single_clique(self):
+        assert maximal_cliques_chordal(complete_graph(4)) == [[0, 1, 2, 3]]
+
+    def test_path_graph_cliques_are_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert maximal_cliques_chordal(g) == [[0, 1], [1, 2], [2, 3]]
+
+    def test_cliques_cover_every_edge(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)])
+        cliques = [set(c) for c in maximal_cliques_chordal(g)]
+        for u, v in g.edges():
+            assert any({u, v} <= c for c in cliques)
+
+    def test_cliques_are_maximal(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        cliques = maximal_cliques_chordal(g)
+        for c in cliques:
+            assert g.is_clique(c)
+            outside = set(range(g.n)) - set(c)
+            assert not any(set(c) <= g.adj[v] | {v} for v in outside)
+
+    def test_isolated_vertex_is_a_clique(self):
+        g = Graph(3, [(0, 1)])
+        assert [2] in maximal_cliques_chordal(g)
+
+    def test_non_chordal_raises(self):
+        with pytest.raises(ValueError):
+            maximal_cliques_chordal(cycle_graph(4))
+
+
+class TestFindInducedC4:
+    def test_finds_c4(self):
+        result = find_induced_c4(cycle_graph(4))
+        assert result is not None
+        a, b, c, d = result
+        g = cycle_graph(4)
+        assert g.has_edge(a, b) and g.has_edge(b, c)
+        assert g.has_edge(c, d) and g.has_edge(d, a)
+        assert not g.has_edge(a, c) and not g.has_edge(b, d)
+
+    def test_none_when_chordal(self):
+        assert find_induced_c4(complete_graph(5)) is None
+
+    def test_finds_c4_inside_larger_graph(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)  # creates two induced C4s? no: 0-1-2-3-0 is a C4
+        assert find_induced_c4(g) is not None
+
+    def test_c5_has_no_induced_c4(self):
+        assert find_induced_c4(cycle_graph(5)) is None

@@ -1,0 +1,145 @@
+"""Unit and property tests for weighted clique / chain / stable-set code."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    max_weight_chain,
+    max_weight_clique,
+    max_weight_clique_containing,
+    max_weight_stable_set_interval,
+)
+
+
+def complete_graph(n):
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def brute_force_max_clique(g, weights):
+    best = 0.0
+    for k in range(g.n + 1):
+        for subset in itertools.combinations(range(g.n), k):
+            if g.is_clique(subset):
+                best = max(best, sum(weights[v] for v in subset))
+    return best
+
+
+class TestMaxWeightClique:
+    def test_empty_graph(self):
+        assert max_weight_clique(Graph(0), []) == (0.0, [])
+
+    def test_single_vertex(self):
+        assert max_weight_clique(Graph(1), [7]) == (7, [0])
+
+    def test_complete_graph_takes_everything(self):
+        w, clique = max_weight_clique(complete_graph(4), [1, 2, 3, 4])
+        assert w == 10
+        assert clique == [0, 1, 2, 3]
+
+    def test_stable_graph_takes_heaviest_vertex(self):
+        w, clique = max_weight_clique(Graph(4), [1, 9, 3, 4])
+        assert w == 9
+        assert clique == [1]
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            max_weight_clique(Graph(2), [1])
+        with pytest.raises(ValueError):
+            max_weight_clique(Graph(2), [1, -1])
+
+    def test_returns_actual_clique(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        w, clique = max_weight_clique(g, [5, 1, 1, 10, 10])
+        assert g.is_clique(clique)
+        assert sum([5, 1, 1, 10, 10][v] for v in clique) == w
+        assert w == 20  # {3, 4}
+
+    @given(
+        st.integers(min_value=0, max_value=6).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, max(n - 1, 0)), st.integers(0, max(n - 1, 0))
+                    ),
+                    max_size=10,
+                ),
+                st.lists(
+                    st.integers(min_value=0, max_value=20), min_size=n, max_size=n
+                ),
+            )
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_against_brute_force(self, data):
+        n, raw_edges, weights = data
+        g = Graph(n)
+        for u, v in raw_edges:
+            if u != v:
+                g.add_edge(u, v)
+        w, clique = max_weight_clique(g, weights)
+        assert g.is_clique(clique)
+        assert w == brute_force_max_clique(g, weights)
+
+
+class TestMaxWeightCliqueContaining:
+    def test_anchor_not_clique(self):
+        g = Graph(3, [(0, 1)])
+        assert max_weight_clique_containing(g, [1, 1, 1], [0, 2]) == (0.0, [])
+
+    def test_anchor_included(self):
+        g = complete_graph(4)
+        w, clique = max_weight_clique_containing(g, [1, 2, 3, 4], [0])
+        assert 0 in clique
+        assert w == 10
+
+    def test_restricts_to_common_neighbors(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        w, clique = max_weight_clique_containing(g, [1, 1, 1, 100], [0, 1])
+        assert clique == [0, 1]
+        assert w == 2
+
+
+class TestMaxWeightChain:
+    def test_chain_dag(self):
+        arcs = [(0, 1), (1, 2)]
+        w, chain = max_weight_chain(3, arcs, [1, 2, 3])
+        assert w == 6
+        assert chain == [0, 1, 2]
+
+    def test_branching_takes_heavier(self):
+        arcs = [(0, 1), (0, 2)]
+        w, chain = max_weight_chain(3, arcs, [1, 5, 2])
+        assert w == 6
+        assert chain == [0, 1]
+
+    def test_empty(self):
+        assert max_weight_chain(0, [], []) == (0.0, [])
+
+    def test_isolated_vertices(self):
+        w, chain = max_weight_chain(3, [], [4, 9, 2])
+        assert w == 9
+        assert chain == [1]
+
+
+class TestMaxWeightStableSetInterval:
+    def test_interval_scheduling_example(self):
+        # Intervals: [0,2) [1,3) [2,4): stable sets are non-overlapping.
+        g = Graph(3, [(0, 1), (1, 2)])
+        w, stable = max_weight_stable_set_interval(g, [3, 5, 3])
+        assert w == 6
+        assert sorted(stable) == [0, 2]
+
+    def test_non_interval_raises(self):
+        c5 = Graph(5, [(i, (i + 1) % 5) for i in range(5)])
+        with pytest.raises(ValueError):
+            max_weight_stable_set_interval(c5, [1] * 5)
+
+    def test_complete_graph_stable_is_single_vertex(self):
+        w, stable = max_weight_stable_set_interval(complete_graph(4), [1, 7, 2, 3])
+        assert w == 7
+        assert stable == [1]

@@ -1,0 +1,123 @@
+"""Unit tests for the directed graph / DAG substrate."""
+
+import pytest
+
+from repro.graphs import CycleError, DiGraph
+
+
+def chain(n):
+    return DiGraph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestConstruction:
+    def test_add_and_query(self):
+        g = DiGraph(3, [(0, 1)])
+        assert g.has_arc(0, 1)
+        assert not g.has_arc(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [(0, 0)])
+
+    def test_remove_arc(self):
+        g = DiGraph(2, [(0, 1)])
+        g.remove_arc(0, 1)
+        assert g.arc_count() == 0
+        with pytest.raises(KeyError):
+            g.remove_arc(0, 1)
+
+    def test_degrees_sources_sinks(self):
+        g = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(3) == 2
+        assert g.sources() == [0]
+        assert g.sinks() == [3]
+
+    def test_copy_independent(self):
+        g = chain(3)
+        h = g.copy()
+        h.add_arc(0, 2)
+        assert not g.has_arc(0, 2)
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self):
+        assert chain(5).topological_order() == [0, 1, 2, 3, 4]
+
+    def test_order_respects_arcs(self):
+        g = DiGraph(6, [(5, 0), (4, 0), (0, 3), (3, 1), (2, 1)])
+        order = g.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.arcs():
+            assert pos[u] < pos[v]
+
+    def test_cycle_raises(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_is_acyclic(self):
+        assert chain(4).is_acyclic()
+        assert not DiGraph(2, [(0, 1), (1, 0)]).is_acyclic()
+
+    def test_find_cycle_returns_actual_cycle(self):
+        g = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 1), (0, 4)])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert len(cycle) >= 2
+        for i, u in enumerate(cycle):
+            assert g.has_arc(u, cycle[(i + 1) % len(cycle)])
+
+    def test_find_cycle_none_for_dag(self):
+        assert chain(4).find_cycle() is None
+
+
+class TestClosureReduction:
+    def test_closure_of_chain(self):
+        closed = chain(4).transitive_closure()
+        expected = {(i, j) for i in range(4) for j in range(i + 1, 4)}
+        assert set(closed.arcs()) == expected
+
+    def test_closure_idempotent(self):
+        g = DiGraph(5, [(0, 2), (2, 4), (1, 2), (2, 3)])
+        once = g.transitive_closure()
+        twice = once.transitive_closure()
+        assert set(once.arcs()) == set(twice.arcs())
+
+    def test_closure_on_cycle_raises(self):
+        with pytest.raises(CycleError):
+            DiGraph(2, [(0, 1), (1, 0)]).transitive_closure()
+
+    def test_reduction_of_closed_chain(self):
+        closed = chain(5).transitive_closure()
+        reduced = closed.transitive_reduction()
+        assert set(reduced.arcs()) == {(i, i + 1) for i in range(4)}
+
+    def test_reduction_keeps_reachability(self):
+        g = DiGraph(6, [(0, 1), (1, 3), (0, 3), (3, 5), (0, 5), (2, 4)])
+        reduced = g.transitive_reduction()
+        assert set(g.transitive_closure().arcs()) == set(
+            reduced.transitive_closure().arcs()
+        )
+
+
+class TestLongestPaths:
+    def test_chain_weights(self):
+        g = chain(3)
+        assert g.longest_path_lengths([2, 2, 1]) == [2, 4, 5]
+
+    def test_diamond(self):
+        g = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        finish = g.longest_path_lengths([1, 5, 2, 1])
+        assert finish == [1, 6, 3, 7]
+
+    def test_critical_path(self):
+        g = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.critical_path_length([1, 5, 2, 1]) == 7
+
+    def test_empty_graph_critical_path(self):
+        assert DiGraph(0).critical_path_length([]) == 0.0
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            chain(3).longest_path_lengths([1, 2])

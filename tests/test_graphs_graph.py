@@ -1,0 +1,135 @@
+"""Unit tests for the undirected graph substrate."""
+
+import pytest
+
+from repro.graphs import Graph, canonical_edge
+
+
+def path_graph(n):
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n):
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n):
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(2, 2)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert list(g.edges()) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_initial_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_add_edge_idempotent(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.edge_count() == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 2)
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(3)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+
+class TestQueries:
+    def test_edges_are_canonical(self):
+        g = Graph(4, [(3, 0), (2, 1)])
+        assert sorted(g.edges()) == [(0, 3), (1, 2)]
+
+    def test_degree(self):
+        g = complete_graph(4)
+        assert all(g.degree(v) == 3 for v in range(4))
+
+    def test_edge_count_complete(self):
+        assert complete_graph(5).edge_count() == 10
+
+    def test_copy_is_independent(self):
+        g = path_graph(3)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert not g.has_edge(0, 2)
+        assert h.has_edge(0, 2)
+
+    def test_equality(self):
+        assert path_graph(3) == Graph(3, [(1, 2), (0, 1)])
+        assert path_graph(3) != cycle_graph(3)
+
+
+class TestDerivedGraphs:
+    def test_complement_of_complete_is_empty(self):
+        g = complete_graph(4).complement()
+        assert g.edge_count() == 0
+
+    def test_complement_involution(self):
+        g = Graph(5, [(0, 1), (2, 3), (1, 4)])
+        assert g.complement().complement() == g
+
+    def test_complement_edge_counts(self):
+        g = path_graph(4)
+        assert g.edge_count() + g.complement().edge_count() == 6
+
+    def test_induced_subgraph(self):
+        g = cycle_graph(5)
+        sub, mapping = g.induced_subgraph([0, 1, 3])
+        assert mapping == [0, 1, 3]
+        assert sub.has_edge(0, 1)  # old edge (0,1)
+        assert not sub.has_edge(1, 2)  # old pair (1,3) is a non-edge
+        assert not sub.has_edge(0, 2)  # old pair (0,3)
+
+    def test_induced_subgraph_deduplicates(self):
+        g = path_graph(3)
+        sub, mapping = g.induced_subgraph([2, 0, 2])
+        assert mapping == [0, 2]
+        assert sub.n == 2
+
+    def test_is_clique_and_stable(self):
+        g = complete_graph(4)
+        assert g.is_clique([0, 1, 2])
+        assert not g.complement().is_clique([0, 1])
+        assert g.complement().is_stable_set([0, 1, 2, 3])
+        assert g.is_stable_set([2])
+
+    def test_connected_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (4, 5)])
+        assert g.connected_components() == [[0, 1, 2], [3], [4, 5]]

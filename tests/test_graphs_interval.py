@@ -1,0 +1,156 @@
+"""Unit and property tests for interval graph recognition/realization."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    consecutive_clique_order,
+    interval_realization,
+    is_interval_graph,
+    verify_realization,
+)
+
+
+def cycle_graph(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n):
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def graph_from_intervals(intervals):
+    g = Graph(len(intervals))
+    for u in range(len(intervals)):
+        for v in range(u + 1, len(intervals)):
+            lu, ru = intervals[u]
+            lv, rv = intervals[v]
+            if max(lu, lv) < min(ru, rv):
+                g.add_edge(u, v)
+    return g
+
+
+class TestRecognitionKnownGraphs:
+    def test_paths_and_cliques_are_interval(self):
+        assert is_interval_graph(Graph(4, [(0, 1), (1, 2), (2, 3)]))
+        assert is_interval_graph(complete_graph(4))
+        assert is_interval_graph(Graph(3))  # edgeless
+
+    def test_cycles_are_not_interval(self):
+        assert not is_interval_graph(cycle_graph(4))
+        assert not is_interval_graph(cycle_graph(5))
+        assert not is_interval_graph(cycle_graph(6))
+
+    def test_triangle_is_interval(self):
+        assert is_interval_graph(cycle_graph(3))
+
+    def test_star_is_interval(self):
+        g = Graph(5, [(0, i) for i in range(1, 5)])
+        assert is_interval_graph(g)
+
+    def test_asteroidal_triple_not_interval(self):
+        """A chordal graph that is not interval: the classic 'net'-like
+        asteroidal triple witness (subdivided star / T-shape: three paths of
+        length 2 glued at a center)."""
+        # center 0; arms 0-1-2, 0-3-4, 0-5-6
+        g = Graph(7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)])
+        assert not is_interval_graph(g)
+
+    def test_exhaustive_n4_against_brute_force(self):
+        n = 4
+        # Precompute the edge sets of every intersection graph of n intervals
+        # (all interleavings of open/close events), then compare recognition
+        # against membership in that set.
+        realizable = set()
+        events = [("open", v) for v in range(n)] + [("close", v) for v in range(n)]
+        for perm in set(itertools.permutations(events)):
+            opened, intervals, ok = {}, [None] * n, True
+            for coord, (kind, v) in enumerate(perm):
+                if kind == "open":
+                    opened[v] = coord
+                elif v in opened:
+                    intervals[v] = (opened[v], coord + 1)
+                else:
+                    ok = False
+                    break
+            if ok:
+                g = graph_from_intervals(intervals)
+                realizable.add(frozenset(g.edges()))
+        pairs = list(itertools.combinations(range(n), 2))
+        for mask in range(1 << len(pairs)):
+            g = Graph(n, [pairs[i] for i in range(len(pairs)) if mask >> i & 1])
+            expected = frozenset(g.edges()) in realizable
+            assert is_interval_graph(g) == expected, repr(g)
+
+
+class TestRealization:
+    def test_realization_verifies(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)])
+        intervals = interval_realization(g)
+        assert intervals is not None
+        assert verify_realization(g, intervals)
+
+    def test_no_realization_for_c4(self):
+        assert interval_realization(cycle_graph(4)) is None
+
+    def test_realization_of_edgeless_graph(self):
+        g = Graph(3)
+        intervals = interval_realization(g)
+        assert intervals is not None
+        assert verify_realization(g, intervals)
+
+    def test_realization_of_complete_graph(self):
+        g = complete_graph(6)
+        intervals = interval_realization(g)
+        assert intervals is not None
+        assert verify_realization(g, intervals)
+
+    def test_verify_rejects_wrong_realization(self):
+        g = Graph(2, [(0, 1)])
+        assert not verify_realization(g, [(0, 1), (5, 6)])
+        assert not verify_realization(g, [(0, 1)])
+        assert not verify_realization(g, [(0, 0), (0, 1)])
+
+
+class TestConsecutiveCliqueOrder:
+    def test_path_graph_order(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        order = consecutive_clique_order(g)
+        assert order is not None
+        assert len(order) == 3
+
+    def test_none_for_non_interval(self):
+        assert consecutive_clique_order(cycle_graph(5)) is None
+
+    def test_empty_graph(self):
+        assert consecutive_clique_order(Graph(0)) == []
+
+
+@st.composite
+def random_intervals(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    out = []
+    for _ in range(n):
+        left = draw(st.integers(min_value=0, max_value=20))
+        length = draw(st.integers(min_value=1, max_value=10))
+        out.append((left, left + length))
+    return out
+
+
+class TestIntervalProperties:
+    @given(random_intervals())
+    @settings(max_examples=150, deadline=None)
+    def test_intersection_graphs_of_intervals_are_interval_graphs(self, intervals):
+        g = graph_from_intervals(intervals)
+        assert is_interval_graph(g)
+
+    @given(random_intervals())
+    @settings(max_examples=100, deadline=None)
+    def test_realization_roundtrip(self, intervals):
+        g = graph_from_intervals(intervals)
+        realized = interval_realization(g)
+        assert realized is not None
+        assert graph_from_intervals(realized) == g

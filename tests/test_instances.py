@@ -1,0 +1,129 @@
+"""Tests for the benchmark instances and random generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances import (
+    codec_task_graph,
+    de_task_graph,
+    random_feasible_instance,
+    random_instance,
+    random_perfect_packing,
+    random_precedence_from_placement,
+    random_task_graph,
+)
+from repro.instances.de import DE_DEPENDENCIES, TABLE_1
+from repro.instances.video_codec import TABLE_2
+
+
+class TestDEInstance:
+    def test_structure_matches_paper(self):
+        g = de_task_graph()
+        assert g.n == 11
+        modules = [t.module.name for t in g.tasks]
+        assert modules.count("MUL") == 6
+        assert modules.count("ALU") == 5
+
+    def test_module_geometry(self):
+        g = de_task_graph()
+        mul = g.task("v1").module
+        alu = g.task("v4").module
+        assert (mul.width, mul.height, mul.duration) == (16, 16, 2)
+        assert (alu.width, alu.height, alu.duration) == (16, 1, 1)
+
+    def test_critical_path_is_six(self):
+        # "As the longest path in the graph has length 6, there does not
+        # exist any faster schedule."
+        assert de_task_graph().critical_path_length() == 6
+
+    def test_dependencies_are_acyclic_and_expected(self):
+        g = de_task_graph()
+        assert g.dependency_dag().is_acyclic()
+        assert set(g.arc_names()) == set(DE_DEPENDENCIES)
+
+    def test_table1_constants(self):
+        assert TABLE_1[6][0] == 32
+        assert TABLE_1[13][0] == 17
+        assert TABLE_1[14][0] == 16
+
+
+class TestCodecInstance:
+    def test_structure(self):
+        g = codec_task_graph()
+        assert g.n == 16
+        assert g.dependency_dag().is_acyclic()
+
+    def test_module_shapes_match_paper(self):
+        g = codec_task_graph()
+        me = g.task("ME").module
+        dct = g.task("DCT").module
+        q = g.task("Q").module
+        assert (me.width, me.height) == (64, 64)      # BMM: 4096 cells
+        assert (dct.width, dct.height) == (16, 16)    # DCTM: 256 cells
+        assert (q.width, q.height) == (25, 25)        # PUM: 625 cells
+
+    def test_critical_path_is_59(self):
+        # The paper: latency 59 "is the smallest latency possible due to
+        # the data dependencies".
+        assert codec_task_graph().critical_path_length() == TABLE_2["latency"]
+
+    def test_coder_and_decoder_subgraphs_are_disjoint(self):
+        g = codec_task_graph()
+        coder = {"ME", "MC", "LF", "SUB", "DCT", "Q", "RLC", "IQ", "IDCT", "REC"}
+        for producer, consumer in g.arc_names():
+            assert (producer in coder) == (consumer in coder)
+
+
+class TestRandomPerfectPacking:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_witness_is_feasible_and_tight(self, seed):
+        rng = random.Random(seed)
+        inst, placement = random_perfect_packing(rng, (5, 4, 3), 6)
+        assert placement.is_feasible()
+        assert inst.total_volume() == inst.container.volume
+
+    def test_exact_box_count(self):
+        rng = random.Random(0)
+        inst, _ = random_perfect_packing(rng, (4, 4, 4), 7)
+        assert inst.n == 7
+
+    def test_impossible_cut_raises(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_perfect_packing(rng, (1, 1, 1), 2)
+
+
+class TestRandomPrecedence:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_arcs_respect_witness(self, seed):
+        rng = random.Random(seed)
+        inst, placement = random_perfect_packing(rng, (4, 4, 4), 5)
+        dag = random_precedence_from_placement(rng, placement, density=0.8)
+        for u, v in dag.arcs():
+            assert placement.end(u, 2) <= placement.start(v, 2)
+        assert dag.is_acyclic()
+
+    def test_feasible_instance_carries_witness(self):
+        rng = random.Random(5)
+        inst, placement = random_feasible_instance(rng, (4, 4, 4), 5)
+        assert placement.instance is inst
+        assert placement.is_feasible()
+
+
+class TestRandomInstanceAndGraph:
+    def test_random_instance_shape(self):
+        inst = random_instance(random.Random(1), (4, 4, 4), 5)
+        assert inst.n == 5
+        assert inst.dimensions == 3
+
+    def test_random_task_graph(self):
+        g = random_task_graph(random.Random(2), num_tasks=6, chip_side=8)
+        assert g.n == 6
+        assert g.dependency_dag().is_acyclic()
+        for t in g.tasks:
+            assert t.width <= 4 and t.height <= 4

@@ -1,0 +1,110 @@
+"""Round-trip tests for serialization and the report renderers."""
+
+import random
+
+from repro.core import Placement, minimize_base, pareto_front
+from repro.core.bmp import OptimizationResult, Probe
+from repro.fpga import ReconfigurationSchedule, square_chip
+from repro.instances import de_task_graph, random_feasible_instance
+from repro.instances.de import TABLE_1
+from repro.io import (
+    dumps,
+    format_table,
+    instance_from_dict,
+    instance_to_dict,
+    loads,
+    pareto_report,
+    placement_from_dict,
+    placement_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    table1_report,
+    task_graph_from_dict,
+    task_graph_to_dict,
+)
+
+
+class TestInstanceRoundTrip:
+    def test_plain_instance(self):
+        rng = random.Random(0)
+        inst, _ = random_feasible_instance(rng, (4, 4, 4), 5)
+        data = loads(dumps(instance_to_dict(inst)))
+        back = instance_from_dict(data)
+        assert [b.widths for b in back.boxes] == [b.widths for b in inst.boxes]
+        assert back.container.sizes == inst.container.sizes
+        assert sorted(back.precedence.arcs()) == sorted(inst.precedence.arcs())
+
+    def test_instance_without_precedence(self):
+        from repro.core import make_instance
+
+        inst = make_instance([(1, 2, 3)], (4, 4, 4))
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.precedence is None
+
+
+class TestPlacementRoundTrip:
+    def test_positions_preserved(self):
+        rng = random.Random(1)
+        inst, placement = random_feasible_instance(rng, (4, 4, 4), 4)
+        back = placement_from_dict(loads(dumps(placement_to_dict(placement))))
+        assert back.positions == placement.positions
+        assert back.is_feasible()
+
+
+class TestTaskGraphRoundTrip:
+    def test_de_graph(self):
+        g = de_task_graph()
+        back = task_graph_from_dict(loads(dumps(task_graph_to_dict(g))))
+        assert back.n == g.n
+        assert back.arc_names() == g.arc_names()
+        assert [t.module.name for t in back.tasks] == [
+            t.module.name for t in g.tasks
+        ]
+        assert back.critical_path_length() == g.critical_path_length()
+
+
+class TestScheduleRoundTrip:
+    def test_schedule(self):
+        from repro.fpga import place
+
+        g = de_task_graph()
+        outcome = place(g, square_chip(32), 6)
+        schedule = outcome.schedule
+        back = schedule_from_dict(loads(dumps(schedule_to_dict(schedule))))
+        assert back.is_feasible()
+        assert back.makespan == schedule.makespan
+        assert back.start_times() == schedule.start_times()
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_table1_report(self):
+        g = de_task_graph()
+        results = [
+            (t, minimize_base(g.boxes(), g.dependency_dag(), time_bound=t))
+            for t in (13, 14)
+        ]
+        text = table1_report(results, TABLE_1)
+        assert "17x17" in text
+        assert "16x16" in text
+        assert "0.04s" in text  # the paper column
+
+    def test_table1_report_handles_missing_paper_row(self):
+        result = OptimizationResult(status="optimal", optimum=9)
+        result.probes.append(Probe(9, "sat", 0.1, "heuristic", 0))
+        text = table1_report([(99, result)], TABLE_1)
+        assert "9x9" in text
+
+    def test_pareto_report(self):
+        front = pareto_front(
+            [b for b in de_task_graph().boxes()],
+            de_task_graph().dependency_dag(),
+        )
+        text = pareto_report(front, "solid")
+        assert "32x32" in text and "(solid)" in text

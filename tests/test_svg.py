@@ -1,0 +1,66 @@
+"""Tests for the SVG renderers (well-formedness and content)."""
+
+import xml.etree.ElementTree as ET
+
+from repro.fpga import place, square_chip
+from repro.instances.de import de_task_graph
+from repro.io.svg import PALETTE, schedule_floorplan_svg, schedule_gantt_svg
+
+
+def de_schedule():
+    outcome = place(de_task_graph(), square_chip(32), time_bound=6)
+    assert outcome.is_feasible
+    return outcome.schedule
+
+
+class TestGanttSVG:
+    def test_well_formed_xml(self):
+        svg = schedule_gantt_svg(de_schedule())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_task(self):
+        schedule = de_schedule()
+        svg = schedule_gantt_svg(schedule)
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [
+            r for r in root.iter(f"{ns}rect")
+            if r.get("fill", "").startswith("#") and r.get("fill") != "#f8f8f8"
+            and r.get("fill") != "white"
+        ]
+        assert len(bars) >= schedule.graph.n
+
+    def test_task_names_present(self):
+        svg = schedule_gantt_svg(de_schedule())
+        for name in ("v1", "v11"):
+            assert f">{name}<" in svg
+
+    def test_makespan_label(self):
+        svg = schedule_gantt_svg(de_schedule())
+        assert "makespan 6 cycles" in svg
+
+
+class TestFloorplanSVG:
+    def test_well_formed_xml(self):
+        svg = schedule_floorplan_svg(de_schedule(), cycles=[0, 2, 4])
+        ET.fromstring(svg)
+
+    def test_default_cycles_are_start_times(self):
+        schedule = de_schedule()
+        svg = schedule_floorplan_svg(schedule)
+        for start in {e.start for e in schedule.entries}:
+            assert f"cycle {start}" in svg
+
+    def test_active_tasks_drawn(self):
+        schedule = de_schedule()
+        svg = schedule_floorplan_svg(schedule, cycles=[0])
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        titles = [t.text for t in root.iter(f"{ns}title")]
+        active = [e.task.name for e in schedule.entries if e.start <= 0 < e.end]
+        for name in active:
+            assert any(name in (t or "") for t in titles)
+
+    def test_palette_is_distinct(self):
+        assert len(set(PALETTE)) == len(PALETTE)
