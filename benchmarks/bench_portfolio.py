@@ -1,0 +1,86 @@
+"""Portfolio and cache performance on the paper's probe workloads.
+
+Compares three ways of answering the same OPP probes the optimizers
+generate:
+
+* the sequential solver (one fixed configuration),
+* the racing portfolio (serial backend: diverse configurations tried in
+  order, first conclusive answer wins),
+* a cache-backed BMP re-sweep (the second run answers every probe from
+  the canonical-form cache).
+
+All benchmarks assert the verdicts stay identical — the portfolio and the
+cache are latency optimizations, never answer changes.
+"""
+
+import pytest
+
+from repro.core import minimize_base
+from repro.core.opp import SolverOptions, solve_opp
+from repro.instances import differential_instances
+from repro.instances.de import TABLE_1
+from repro.parallel import PortfolioSolver, ResultCache
+
+SEED = 90125
+PROBE_COUNT = 40
+
+
+@pytest.fixture(scope="module")
+def probe_instances():
+    return list(differential_instances(SEED, PROBE_COUNT))
+
+
+@pytest.fixture(scope="module")
+def expected_verdicts(probe_instances):
+    return [solve_opp(inst).status for inst in probe_instances]
+
+
+def test_sequential_probe_sweep(benchmark, probe_instances, expected_verdicts):
+    def run():
+        return [solve_opp(inst).status for inst in probe_instances]
+
+    assert benchmark(run) == expected_verdicts
+
+
+def test_portfolio_probe_sweep(benchmark, probe_instances, expected_verdicts):
+    solver = PortfolioSolver(backend="serial")
+
+    def run():
+        return [solver.solve(inst).status for inst in probe_instances]
+
+    assert benchmark(run) == expected_verdicts
+    solver.close()
+
+
+def test_cached_probe_sweep(benchmark, probe_instances, expected_verdicts):
+    """Steady-state cache performance: every probe after the warm-up run is
+    a canonical-form lookup plus a witness re-validation."""
+    cache = ResultCache()
+    warmup = [solve_opp(inst, cache=cache).status for inst in probe_instances]
+    assert warmup == expected_verdicts
+
+    def run():
+        return [solve_opp(inst, cache=cache).status for inst in probe_instances]
+
+    assert benchmark(run) == expected_verdicts
+    assert cache.stats.hit_rate > 0.9
+
+
+def test_bmp_cached_resweep(benchmark, de_graph):
+    """Table 1's h_t=14 row, re-solved against a warm cache: the monotone
+    binary search repeats the same OPP probes, so the second full BMP run
+    should be answered almost entirely from cache."""
+    boxes = de_graph.boxes()
+    dag = de_graph.dependency_dag()
+    cache = ResultCache()
+    first = minimize_base(boxes, dag, time_bound=14, cache=cache)
+    assert first.status == "optimal"
+
+    def run():
+        return minimize_base(boxes, dag, time_bound=14, cache=cache)
+
+    result = benchmark(run)
+    expected_side, _ = TABLE_1[14]
+    assert result.status == "optimal"
+    assert result.optimum == expected_side
+    assert cache.stats.hits > 0

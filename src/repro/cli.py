@@ -33,6 +33,38 @@ from .instances.video_codec import TABLE_2, codec_task_graph
 from .io.report import format_table, pareto_report, table1_report
 from .io.serialize import instance_from_dict, loads
 
+# Exit codes: conclusive answers are distinguishable by code alone, so
+# scripts can branch on feasibility without parsing stdout.  ``unknown``
+# (budget exhausted) is distinct from ``unsat``/``infeasible`` — the two
+# previously shared an exit code, which made retry logic impossible.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_UNSAT = 2
+EXIT_UNKNOWN = 3
+
+_STATUS_EXIT_CODES = {
+    "sat": EXIT_OK,
+    "optimal": EXIT_OK,
+    "unsat": EXIT_UNSAT,
+    "infeasible": EXIT_UNSAT,
+    "unknown": EXIT_UNKNOWN,
+}
+
+
+def exit_code_for_status(status: str) -> int:
+    """Map a solver/optimizer status to the CLI exit code."""
+    return _STATUS_EXIT_CODES.get(status, EXIT_ERROR)
+
+
+def _make_cache(args: argparse.Namespace):
+    """A disk-backed verdict cache when ``--cache DIR`` was given."""
+    path = getattr(args, "cache", None)
+    if path is None:
+        return None
+    from .parallel import ResultCache
+
+    return ResultCache(disk_path=path)
+
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     graph = de_task_graph()
@@ -86,15 +118,32 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     with open(args.instance, "r", encoding="utf-8") as handle:
         instance = instance_from_dict(loads(handle.read()))
-    options = SolverOptions(time_limit=args.time_limit)
-    result = solve_opp(instance, options)
-    print(f"status: {result.status} (stage: {result.stage})")
+    cache = _make_cache(args)
+    if args.workers and args.workers > 1:
+        from .parallel import solve_opp_portfolio
+
+        portfolio = solve_opp_portfolio(
+            instance,
+            workers=args.workers,
+            cache=cache,
+            time_limit=args.time_limit,
+        )
+        result = portfolio.to_opp_result()
+        print(
+            f"status: {result.status} (stage: {portfolio.stage}, "
+            f"winner: {portfolio.winner}, backend: {portfolio.backend}, "
+            f"nodes: {portfolio.stats.nodes}, {portfolio.elapsed:.3f}s)"
+        )
+    else:
+        options = SolverOptions(time_limit=args.time_limit)
+        result = solve_opp(instance, options, cache=cache)
+        print(f"status: {result.status} (stage: {result.stage})")
     if result.certificate:
         print(f"certificate: {result.certificate}")
     if result.placement is not None:
         for i, pos in enumerate(result.placement.positions):
             print(f"  {instance.boxes[i]}: anchor {pos}")
-    return 0 if result.status != "unknown" else 1
+    return exit_code_for_status(result.status)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -164,21 +213,50 @@ def _load_graph(spec: str):
         return task_graph_from_dict(loads(handle.read()))
 
 
+def _probe_engine(args: argparse.Namespace):
+    """Cache + optional portfolio probe engine for optimizer commands.
+
+    Returns ``(cache, opp_solver, close)``: with ``--workers N > 1`` every
+    OPP probe of the monotone sweep races the portfolio on a shared pool;
+    ``close`` must be called when the command is done.
+    """
+    cache = _make_cache(args)
+    workers = getattr(args, "workers", None)
+    if not workers or workers <= 1:
+        return cache, None, (lambda: None)
+    from .parallel import PortfolioSolver
+
+    solver = PortfolioSolver(workers=workers, cache=cache)
+
+    def opp_solver(instance):
+        return solver.solve(instance, time_limit=args.time_limit).to_opp_result()
+
+    return cache, opp_solver, solver.close
+
+
 def _cmd_bmp(args: argparse.Namespace) -> int:
     from .fpga import minimize_chip
 
     graph = _load_graph(args.graph)
-    outcome = minimize_chip(
-        graph, args.time, options=SolverOptions(time_limit=args.time_limit)
-    )
+    cache, opp_solver, close = _probe_engine(args)
+    try:
+        outcome = minimize_chip(
+            graph,
+            args.time,
+            options=SolverOptions(time_limit=args.time_limit),
+            cache=cache,
+            opp_solver=opp_solver,
+        )
+    finally:
+        close()
     print(f"{graph}: deadline {args.time}")
     if outcome.status != "optimal":
         print(f"status: {outcome.status}")
-        return 1
+        return exit_code_for_status(outcome.status)
     print(f"minimal square chip: {outcome.optimum}x{outcome.optimum}")
     if args.show_schedule and outcome.schedule is not None:
         print(outcome.schedule.table())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_spp(args: argparse.Namespace) -> int:
@@ -186,49 +264,69 @@ def _cmd_spp(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     chip = Chip(args.width, args.height or args.width)
-    outcome = minimize_latency(
-        graph, chip, options=SolverOptions(time_limit=args.time_limit)
-    )
+    cache, opp_solver, close = _probe_engine(args)
+    try:
+        outcome = minimize_latency(
+            graph,
+            chip,
+            options=SolverOptions(time_limit=args.time_limit),
+            cache=cache,
+            opp_solver=opp_solver,
+        )
+    finally:
+        close()
     print(f"{graph}: chip {chip}")
     if outcome.status != "optimal":
         print(f"status: {outcome.status}")
-        return 1
+        return exit_code_for_status(outcome.status)
     print(f"minimal latency: {outcome.optimum} cycles")
     if args.show_schedule and outcome.schedule is not None:
         print(outcome.schedule.gantt())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_area(args: argparse.Namespace) -> int:
     from .core.bmp import minimize_area
 
     graph = _load_graph(args.graph)
-    result = minimize_area(
-        graph.boxes(),
-        graph.dependency_dag() if graph.arcs() else None,
-        time_bound=args.time,
-        options=SolverOptions(time_limit=args.time_limit),
-    )
+    cache, opp_solver, close = _probe_engine(args)
+    try:
+        result = minimize_area(
+            graph.boxes(),
+            graph.dependency_dag() if graph.arcs() else None,
+            time_bound=args.time,
+            options=SolverOptions(time_limit=args.time_limit),
+            cache=cache,
+            opp_solver=opp_solver,
+        )
+    finally:
+        close()
     print(f"{graph}: deadline {args.time}")
     if result.status != "optimal":
         print(f"status: {result.status}")
-        return 1
+        return exit_code_for_status(result.status)
     print(
         f"minimal chip: {result.width}x{result.height} "
         f"({result.area} cells)"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    front = explore_tradeoffs(
-        graph,
-        with_dependencies=not args.ignore_dependencies,
-        options=SolverOptions(time_limit=args.time_limit),
-    )
+    cache, opp_solver, close = _probe_engine(args)
+    try:
+        front = explore_tradeoffs(
+            graph,
+            with_dependencies=not args.ignore_dependencies,
+            options=SolverOptions(time_limit=args.time_limit),
+            cache=cache,
+            opp_solver=opp_solver,
+        )
+    finally:
+        close()
     print(pareto_report(front, str(graph)))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_svg(args: argparse.Namespace) -> int:
@@ -268,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--time-limit", type=float, default=None, help="seconds before giving up"
     )
+    solve.add_argument(
+        "--workers", type=int, default=None,
+        help="race a portfolio of solver configurations on N workers",
+    )
+    solve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="directory for the on-disk verdict cache (created if missing)",
+    )
     sub.add_parser("demo", help="small end-to-end placement demo")
     sub.add_parser("report", help="run the complete reproduction record")
 
@@ -279,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--time-limit", type=float, default=None,
             help="per-OPP seconds before giving up",
+        )
+        cmd.add_argument(
+            "--workers", type=int, default=None,
+            help="race a portfolio of solver configurations on N workers "
+            "for every OPP probe",
+        )
+        cmd.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help="directory for the on-disk verdict cache (created if "
+            "missing); repeated sweeps reuse conclusive verdicts",
         )
         return cmd
 

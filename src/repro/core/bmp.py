@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..graphs.digraph import DiGraph
 from .boxes import Box, Container, PackingInstance, Placement
@@ -20,6 +20,11 @@ from .opp import OPPResult, SolverOptions, solve_opp
 OPTIMAL = "optimal"
 INFEASIBLE = "infeasible"
 UNKNOWN = "unknown"
+
+# An OPP engine the optimization drivers can be pointed at instead of the
+# sequential ``solve_opp`` — e.g. ``lambda inst: portfolio.solve(inst)
+# .to_opp_result()`` races a solver portfolio per probe.
+OppSolver = Callable[[PackingInstance], OPPResult]
 
 
 @dataclass
@@ -83,6 +88,8 @@ def minimize_area(
     precedence: Optional[DiGraph] = None,
     time_bound: int = 1,
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[OppSolver] = None,
 ) -> "AreaResult":
     """Free-aspect chip minimization: the rectangle ``w × h`` of smallest
     *area* (ties broken toward square) accommodating the tasks within the
@@ -118,7 +125,10 @@ def minimize_area(
             list(boxes), Container((width, height, time_bound)), precedence
         )
         start = time.monotonic()
-        opp = solve_opp(instance, options)
+        if opp_solver is not None:
+            opp = opp_solver(instance)
+        else:
+            opp = solve_opp(instance, options, cache=cache)
         result.probes.append(
             Probe(
                 value=width * height,
@@ -203,11 +213,16 @@ def minimize_base(
     time_bound: int = 1,
     options: Optional[SolverOptions] = None,
     max_side: Optional[int] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[OppSolver] = None,
 ) -> OptimizationResult:
     """Solve MinA&FindS: the minimal square chip for deadline ``time_bound``.
 
     ``max_side`` caps the search (default: enough to place all boxes side by
     side, which is always sufficient when the deadline admits any schedule).
+    ``cache`` (a :class:`repro.parallel.cache.ResultCache`) memoizes the OPP
+    probes; repeated sweeps over overlapping chip ranges hit instead of
+    re-solving.
     """
     if not boxes:
         return OptimizationResult(status=OPTIMAL, optimum=0, placement=None)
@@ -230,7 +245,10 @@ def minimize_base(
     def probe(side: int) -> OPPResult:
         instance = _square_instance(boxes, precedence, side, time_bound)
         start = time.monotonic()
-        opp = solve_opp(instance, options)
+        if opp_solver is not None:
+            opp = opp_solver(instance)
+        else:
+            opp = solve_opp(instance, options, cache=cache)
         result.probes.append(
             Probe(
                 value=side,

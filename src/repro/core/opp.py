@@ -16,8 +16,9 @@ exhaustive search.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from .boxes import PackingInstance, Placement
 from .bounds import prove_infeasible
@@ -36,6 +37,7 @@ class SolverOptions:
     use_bounds: bool = True
     use_heuristics: bool = True
     use_annealing: bool = False
+    annealing_seed: int = 0
     propagation: PropagationOptions = field(default_factory=PropagationOptions)
     branching: BranchingOptions = field(default_factory=BranchingOptions)
     node_limit: Optional[int] = None
@@ -60,36 +62,82 @@ class OPPResult:
     def is_unsat(self) -> bool:
         return self.status == UNSAT
 
+    @property
+    def limit(self) -> Optional[str]:
+        """Why the solver gave up (``"node limit"``, ``"time limit"``,
+        ``"cancelled"``), or ``None`` when the answer is conclusive."""
+        return self.stats.limit
+
 
 def solve_opp(
-    instance: PackingInstance, options: Optional[SolverOptions] = None
+    instance: PackingInstance,
+    options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> OPPResult:
     """Decide feasibility of a packing instance (the OPP / FeasAT&FindS).
 
     Returns an :class:`OPPResult` whose ``status`` is ``"sat"`` (with a
     geometry-validated placement), ``"unsat"`` (with a certificate when a
-    bound proved it), or ``"unknown"`` (node/time limit hit).
+    bound proved it), or ``"unknown"`` (node/time limit hit, or cancelled
+    through ``should_stop``).  Every path stamps ``stats.elapsed``; limit
+    exits additionally record the reason in ``stats.limit``.
+
+    ``cache`` is any object with the :class:`repro.parallel.cache.ResultCache`
+    interface (``get(instance)`` / ``put(instance, result)``): conclusive
+    verdicts are reused across calls, keyed by the *canonical* instance form,
+    so the monotone container sweeps of BMP/SPP and repeated queries hit
+    instead of re-solving.
     """
     options = options or SolverOptions()
+    start = time.monotonic()
+
+    def finish(result: OPPResult) -> OPPResult:
+        # Total decision time across all stages (the search stage alone
+        # already stamped its own share; the total is what callers bill).
+        result.stats.elapsed = time.monotonic() - start
+        if cache is not None and result.status in (SAT, UNSAT):
+            cache.put(instance, result)
+        return result
+
+    if cache is not None:
+        hit = cache.get(instance)
+        if hit is not None:
+            hit.stats.elapsed = time.monotonic() - start
+            return hit
+
+    if should_stop is not None and should_stop():
+        result = OPPResult(status=UNKNOWN, stage="cancelled")
+        result.stats.limit = "cancelled"
+        result.stats.elapsed = time.monotonic() - start
+        return result
 
     if options.use_bounds:
         certificate = prove_infeasible(instance)
         if certificate is not None:
-            return OPPResult(status=UNSAT, certificate=certificate, stage="bounds")
+            return finish(
+                OPPResult(status=UNSAT, certificate=certificate, stage="bounds")
+            )
 
     if options.use_heuristics:
         from ..heuristics.greedy import heuristic_placement
 
         placement = heuristic_placement(instance)
         if placement is not None:
-            return OPPResult(status=SAT, placement=placement, stage="heuristic")
+            return finish(
+                OPPResult(status=SAT, placement=placement, stage="heuristic")
+            )
 
     if options.use_annealing:
-        from ..heuristics.annealing import annealed_placement
+        from ..heuristics.annealing import AnnealingOptions, annealed_placement
 
-        placement = annealed_placement(instance)
+        placement = annealed_placement(
+            instance, AnnealingOptions(seed=options.annealing_seed)
+        )
         if placement is not None:
-            return OPPResult(status=SAT, placement=placement, stage="annealing")
+            return finish(
+                OPPResult(status=SAT, placement=placement, stage="annealing")
+            )
 
     solver = BranchAndBound(
         instance,
@@ -97,6 +145,7 @@ def solve_opp(
         branching=options.branching,
         node_limit=options.node_limit,
         time_limit=options.time_limit,
+        should_stop=should_stop,
     )
     status, placement = solver.solve()
-    return OPPResult(status=status, placement=placement, stats=solver.stats)
+    return finish(OPPResult(status=status, placement=placement, stats=solver.stats))

@@ -58,6 +58,8 @@ def pareto_front(
     precedence: Optional[DiGraph] = None,
     max_time: Optional[int] = None,
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[object] = None,
 ) -> ParetoFront:
     """Sweep latencies from the minimum achievable upward and minimize the
     chip for each; stop when the chip size reaches its absolute floor (the
@@ -72,14 +74,25 @@ def pareto_front(
     if max_time is None:
         max_time = t_sequential
     floor_result = minimize_base(
-        boxes, precedence, time_bound=max(t_sequential, max_time), options=options
+        boxes,
+        precedence,
+        time_bound=max(t_sequential, max_time),
+        options=options,
+        cache=cache,
+        opp_solver=opp_solver,
     )
     floor = floor_result.optimum if floor_result.status == OPTIMAL else None
 
     previous_side: Optional[int] = None
     for t in range(t_min, max_time + 1):
         result = minimize_base(
-            boxes, precedence, time_bound=t, options=options, max_side=previous_side
+            boxes,
+            precedence,
+            time_bound=t,
+            options=options,
+            max_side=previous_side,
+            cache=cache,
+            opp_solver=opp_solver,
         )
         front.results.append(result)
         if result.status != OPTIMAL:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..graphs.chordal import is_chordal
 from .boxes import PackingInstance, Placement
@@ -51,11 +51,27 @@ class SearchStats:
     elapsed: float = 0.0
     propagated_states: int = 0
     propagated_arcs: int = 0
+    limit: Optional[str] = None
 
     def merge_model(self, model: EdgeStateModel) -> None:
         self.conflicts += model.stats.conflicts
         self.propagated_states += model.stats.forced_states
         self.propagated_arcs += model.stats.forced_arcs
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another run's counters into this one (portfolio observability).
+
+        Counters add up; ``elapsed`` takes the maximum because racing workers
+        run concurrently, not back to back.  ``limit`` is left alone — the
+        caller decides which run's limit reason (if any) describes the merge.
+        """
+        self.nodes += other.nodes
+        self.conflicts += other.conflicts
+        self.leaves += other.leaves
+        self.leaf_failures += other.leaf_failures
+        self.propagated_states += other.propagated_states
+        self.propagated_arcs += other.propagated_arcs
+        self.elapsed = max(self.elapsed, other.elapsed)
 
 
 @dataclass
@@ -93,6 +109,7 @@ class BranchAndBound:
         time_limit: Optional[float] = None,
         pre_states: Optional[List[Tuple[int, int, int, int]]] = None,
         pre_arcs: Optional[List[Tuple[int, int, int]]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
         the search starts — the FixedS problems fix the entire time axis this
@@ -100,7 +117,12 @@ class BranchAndBound:
 
         External pre-assignments distinguish otherwise identical boxes, so
         symmetry breaking (which canonicalizes their time order) must be
-        disabled whenever any are present."""
+        disabled whenever any are present.
+
+        ``should_stop`` enables cooperative cancellation: it is polled on the
+        same cadence as the time limit, and a ``True`` return abandons the
+        search with status ``"unknown"`` (portfolio racing cancels losers
+        this way once one worker settles the instance)."""
         self.instance = instance
         if pre_states or pre_arcs:
             from dataclasses import replace
@@ -114,6 +136,7 @@ class BranchAndBound:
         self.branching = branching or BranchingOptions()
         self.node_limit = node_limit
         self.time_limit = time_limit
+        self.should_stop = should_stop
         self.stats = SearchStats()
         self._deadline: Optional[float] = None
         if self.branching.strategy not in ("guided", "static"):
@@ -174,7 +197,8 @@ class BranchAndBound:
             placement = self._dfs()
             status = "sat" if placement is not None else "unsat"
             return self._finish(status, placement, start)
-        except LimitReached:
+        except LimitReached as limit:
+            self.stats.limit = str(limit)
             return self._finish("unknown", None, start)
 
     def _finish(
@@ -188,12 +212,14 @@ class BranchAndBound:
         self.stats.nodes += 1
         if self.node_limit is not None and self.stats.nodes > self.node_limit:
             raise LimitReached("node limit")
-        if (
-            self._deadline is not None
-            and self.stats.nodes % 64 == 0
-            and time.monotonic() > self._deadline
-        ):
-            raise LimitReached("time limit")
+        if self.stats.nodes % 64 == 0:
+            if (
+                self._deadline is not None
+                and time.monotonic() > self._deadline
+            ):
+                raise LimitReached("time limit")
+            if self.should_stop is not None and self.should_stop():
+                raise LimitReached("cancelled")
         choice = self._pick_branch()
         if choice is None:
             return self._verify_leaf()

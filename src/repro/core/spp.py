@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from ..graphs.digraph import DiGraph
 from ..heuristics.greedy import heuristic_makespan
-from .bmp import INFEASIBLE, OPTIMAL, UNKNOWN, OptimizationResult, Probe
+from .bmp import INFEASIBLE, OPTIMAL, UNKNOWN, OppSolver, OptimizationResult, Probe
 from .boxes import Box, Container, PackingInstance
 from .bounds import makespan_lower_bound
 from .opp import OPPResult, SolverOptions, solve_opp
@@ -36,8 +36,13 @@ def minimize_makespan(
     precedence: Optional[DiGraph] = None,
     chip: Tuple[int, int] = (1, 1),
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[OppSolver] = None,
 ) -> OptimizationResult:
-    """Solve MinT&FindS: minimal schedule length on a fixed chip."""
+    """Solve MinT&FindS: minimal schedule length on a fixed chip.
+
+    ``cache`` (a :class:`repro.parallel.cache.ResultCache`) memoizes the OPP
+    probes of the binary search across calls."""
     if not boxes:
         return OptimizationResult(status=OPTIMAL, optimum=0)
     result = OptimizationResult(status=UNKNOWN)
@@ -62,7 +67,10 @@ def minimize_makespan(
     def probe(bound: int) -> OPPResult:
         instance = _timed_instance(boxes, precedence, chip, bound)
         start = time.monotonic()
-        opp = solve_opp(instance, options)
+        if opp_solver is not None:
+            opp = opp_solver(instance)
+        else:
+            opp = solve_opp(instance, options, cache=cache)
         result.probes.append(
             Probe(
                 value=bound,

@@ -81,10 +81,17 @@ def minimize_chip(
     graph: TaskGraph,
     time_bound: int,
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinA&FindS: the smallest square chip for the latency bound."""
     result = minimize_base(
-        graph.boxes(), _dependency_dag(graph), time_bound=time_bound, options=options
+        graph.boxes(),
+        _dependency_dag(graph),
+        time_bound=time_bound,
+        options=options,
+        cache=cache,
+        opp_solver=opp_solver,
     )
     return _chip_outcome(graph, result)
 
@@ -93,6 +100,8 @@ def minimize_latency(
     graph: TaskGraph,
     chip: Chip,
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinT&FindS: the smallest latency on the given chip."""
     result = minimize_makespan(
@@ -100,6 +109,8 @@ def minimize_latency(
         _dependency_dag(graph),
         chip=(chip.width, chip.height),
         options=options,
+        cache=cache,
+        opp_solver=opp_solver,
     )
     outcome = ChipOptimizationOutcome(
         status=result.status, optimum=result.optimum, chip=chip, details=result
@@ -150,10 +161,19 @@ def explore_tradeoffs(
     with_dependencies: bool = True,
     max_time: Optional[int] = None,
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    opp_solver: Optional[object] = None,
 ) -> ParetoFront:
     """The chip-size / latency Pareto front (Figure 7)."""
     dag = _dependency_dag(graph) if with_dependencies else None
-    return pareto_front(graph.boxes(), dag, max_time=max_time, options=options)
+    return pareto_front(
+        graph.boxes(),
+        dag,
+        max_time=max_time,
+        options=options,
+        cache=cache,
+        opp_solver=opp_solver,
+    )
 
 
 def _chip_outcome(

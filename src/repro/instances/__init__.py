@@ -27,8 +27,10 @@ from .dsp import (
     fir_filter_task_graph,
 )
 from .random_instances import (
+    differential_instances,
     random_feasible_instance,
     random_instance,
+    random_mixed_instance,
     random_perfect_packing,
     random_precedence_from_placement,
     random_task_graph,
@@ -55,8 +57,10 @@ __all__ = [
     "fft_task_graph",
     "fir_critical_path",
     "fir_filter_task_graph",
+    "differential_instances",
     "random_feasible_instance",
     "random_instance",
+    "random_mixed_instance",
     "random_perfect_packing",
     "random_precedence_from_placement",
     "random_task_graph",

@@ -10,7 +10,7 @@ sampled consistently with the witness, keeping the instance feasible.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from ..core.boxes import Box, Container, PackingInstance, Placement
 from ..fpga.dataflow import TaskGraph
@@ -117,6 +117,87 @@ def random_instance(
             if rng.random() < precedence_density:
                 dag.add_arc(u, v)
     return PackingInstance(boxes, Container(container), dag)
+
+
+def random_mixed_instance(
+    rng: random.Random,
+    max_container: int = 5,
+    max_boxes: int = 6,
+) -> PackingInstance:
+    """One instance from a distribution that mixes SAT and UNSAT, easy and
+    hard, with and without precedence — the workhorse of the differential
+    harness.
+
+    Three regimes, weighted toward the interesting middle ground:
+
+    * *feasible-by-construction* — guillotine cuts with consistent
+      precedence; always SAT, exercises the witness path;
+    * *tension* — a perfect (zero-slack) packing plus one extra precedence
+      arc between boxes that coexisted in the witness; the witness dies but
+      another packing may or may not exist, so the verdict is genuinely
+      open until solved;
+    * *arbitrary* — independent random boxes and DAG; naturally mixed, with
+      easy bound-provable UNSATs and easy heuristic SATs in the tails.
+    """
+    d = 3
+    sizes = tuple(rng.randint(2, max_container) for _ in range(d))
+    volume = sizes[0] * sizes[1] * sizes[2]
+    num_boxes = rng.randint(2, min(max_boxes, max(2, volume // 2)))
+    regime = rng.random()
+    if regime < 0.35:
+        density = rng.choice([0.0, 0.2, 0.5])
+        instance, _ = random_feasible_instance(
+            rng, container=sizes, num_boxes=num_boxes, precedence_density=density
+        )
+        return instance
+    if regime < 0.6:
+        instance, witness = random_perfect_packing(rng, sizes, num_boxes)
+        dag = random_precedence_from_placement(rng, witness, density=0.3)
+        axis = instance.time_axis
+        coexisting = [
+            (u, v)
+            for u in range(instance.n)
+            for v in range(instance.n)
+            if u != v
+            and not dag.has_arc(u, v)
+            and not dag.has_arc(v, u)
+            and witness.start(v, axis) < witness.end(u, axis)
+            and witness.start(u, axis) < witness.end(v, axis)
+        ]
+        if coexisting:
+            u, v = rng.choice(coexisting)
+            trial = dag.copy()
+            trial.add_arc(u, v)
+            if trial.is_acyclic():
+                dag = trial
+        return PackingInstance(
+            list(instance.boxes), instance.container, dag, instance.time_axis
+        )
+    return random_instance(
+        rng,
+        container=sizes,
+        num_boxes=num_boxes,
+        max_width=max(2, max_container - 1),
+        precedence_density=rng.choice([0.0, 0.15, 0.35]),
+    )
+
+
+def differential_instances(
+    seed: int,
+    count: int,
+    max_container: int = 5,
+    max_boxes: int = 6,
+) -> Iterator[PackingInstance]:
+    """A reproducible stream of mixed instances for differential testing.
+
+    The same ``seed`` always yields the same sequence, so a CI failure names
+    an exact instance (``seed``, position) that reproduces locally.
+    """
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield random_mixed_instance(
+            rng, max_container=max_container, max_boxes=max_boxes
+        )
 
 
 def random_task_graph(

@@ -1,0 +1,31 @@
+"""Parallel solving: a racing solver portfolio and a canonical verdict cache.
+
+* :mod:`repro.parallel.portfolio` — race diverse exact solver
+  configurations on one instance across processes/threads, first conclusive
+  answer wins, losers are cancelled cooperatively, stats merge;
+* :mod:`repro.parallel.cache` — memoize conclusive OPP verdicts under a
+  canonical instance form (box order, module names, and DAG presentation
+  are normalized away), with an in-memory LRU and an optional on-disk
+  JSON store.
+"""
+
+from .cache import CacheStats, ResultCache, cache_key, canonical_form
+from .portfolio import (
+    PortfolioConfig,
+    PortfolioResult,
+    PortfolioSolver,
+    default_portfolio,
+    solve_opp_portfolio,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "canonical_form",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "PortfolioSolver",
+    "default_portfolio",
+    "solve_opp_portfolio",
+]

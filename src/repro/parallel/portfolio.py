@@ -1,0 +1,387 @@
+"""A racing portfolio of OPP solver configurations.
+
+Fekete/Köhler/Teich report (and our ablation benches confirm) that the
+branching rule dominates runtime variance across instances: a configuration
+that cracks one instance in milliseconds can be orders of magnitude slower
+on the next.  The classic cure is a *portfolio*: run diverse configurations
+on the same instance concurrently, return the first conclusive answer, and
+cancel the losers.  Every configuration is exact, so the first ``sat`` /
+``unsat`` is final — racing changes latency, never answers.
+
+Three backends share one code path:
+
+* ``process`` — ``concurrent.futures.ProcessPoolExecutor``, true
+  parallelism; cooperative generation-based cancellation lets one pool be
+  reused across the many OPP probes of a BMP/SPP sweep;
+* ``thread``  — GIL-bound but dependency-free; used as the automatic
+  fallback where process pools are unavailable (sandboxes);
+* ``serial``  — configurations tried in order, first conclusive wins; the
+  zero-overhead choice for tiny instances and deterministic tests.
+
+``SearchStats`` from *all* workers are merged into the result for
+observability (total nodes, conflicts, propagations across the race).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from ..core.boxes import PackingInstance, Placement
+from ..core.opp import SAT, UNKNOWN, UNSAT, OPPResult, SolverOptions
+from ..core.search import BranchingOptions, SearchStats
+from .cache import ResultCache
+from .workers import (
+    _init_worker,
+    decode_result,
+    run_config_inline,
+    run_portfolio_task,
+)
+
+
+@dataclass
+class PortfolioConfig:
+    """One named entrant of the race."""
+
+    name: str
+    options: SolverOptions
+
+
+def default_portfolio() -> List[PortfolioConfig]:
+    """Diverse exact configurations (branching rules, value orders, stage
+    mixes, heuristic seeds).  The first entry is the sequential default, so
+    a one-worker portfolio degenerates to ``solve_opp``."""
+    return [
+        PortfolioConfig("guided", SolverOptions()),
+        PortfolioConfig(
+            "guided-component-first",
+            SolverOptions(
+                branching=BranchingOptions(value_order="component_first")
+            ),
+        ),
+        PortfolioConfig(
+            "static",
+            SolverOptions(branching=BranchingOptions(strategy="static")),
+        ),
+        PortfolioConfig(
+            "guided-heavy-time",
+            SolverOptions(
+                use_heuristics=False,
+                branching=BranchingOptions(time_axis_boost=8.0),
+            ),
+        ),
+        PortfolioConfig(
+            "static-flat",
+            SolverOptions(
+                branching=BranchingOptions(
+                    strategy="static",
+                    value_order="component_first",
+                    time_axis_boost=1.0,
+                )
+            ),
+        ),
+        PortfolioConfig(
+            "annealing",
+            SolverOptions(use_annealing=True, annealing_seed=1),
+        ),
+    ]
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one portfolio race (an :class:`OPPResult` superset)."""
+
+    status: str
+    placement: Optional[Placement] = None
+    certificate: Optional[str] = None
+    stage: str = "search"
+    winner: Optional[str] = None
+    backend: str = "serial"
+    elapsed: float = 0.0
+    cache_hit: bool = False
+    stats: SearchStats = field(default_factory=SearchStats)
+    per_config: Dict[str, SearchStats] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    def to_opp_result(self) -> OPPResult:
+        return OPPResult(
+            status=self.status,
+            placement=self.placement,
+            certificate=self.certificate,
+            stats=self.stats,
+            stage=self.stage,
+        )
+
+
+class _Generation:
+    """Thread/serial stand-in for the shared ``multiprocessing.Value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class PortfolioSolver:
+    """A reusable racing solver (pool + cache live across many solves).
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with PortfolioSolver(workers=4, cache=ResultCache()) as solver:
+            result = solver.solve(instance)
+    """
+
+    def __init__(
+        self,
+        configs: Optional[List[PortfolioConfig]] = None,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        backend: str = "auto",
+    ) -> None:
+        self.configs = list(configs) if configs else default_portfolio()
+        if not self.configs:
+            raise ValueError("portfolio needs at least one configuration")
+        cpus = os.cpu_count() or 1
+        self.workers = max(1, workers if workers is not None else min(len(self.configs), cpus))
+        if backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "auto":
+            backend = "process" if self.workers > 1 else "serial"
+        self.backend = backend
+        self.cache = cache
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._generation: Any = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "PortfolioSolver":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            if self._generation is not None:
+                with self._generation.get_lock():
+                    self._generation.value += 1
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> bool:
+        """Create the process pool lazily; degrade to threads on failure."""
+        if self._pool is not None:
+            return True
+        try:
+            import multiprocessing as mp
+
+            ctx = mp.get_context()
+            self._generation = ctx.Value("L", 0)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self._generation,),
+            )
+            return True
+        except (OSError, ImportError, PermissionError, ValueError):
+            self._pool = None
+            self._generation = None
+            self.backend = "thread"
+            return False
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(
+        self,
+        instance: PackingInstance,
+        time_limit: Optional[float] = None,
+    ) -> PortfolioResult:
+        """Race the portfolio on one instance; first conclusive answer wins.
+
+        ``time_limit`` (seconds) bounds every entrant that has no tighter
+        limit of its own; when all entrants come back inconclusive the
+        result is ``"unknown"``.
+        """
+        start = time.monotonic()
+        if self.cache is not None:
+            hit = self.cache.get(instance)
+            if hit is not None:
+                return PortfolioResult(
+                    status=hit.status,
+                    placement=hit.placement,
+                    certificate=hit.certificate,
+                    stage="cache",
+                    winner="cache",
+                    backend=self.backend,
+                    elapsed=time.monotonic() - start,
+                    cache_hit=True,
+                    stats=hit.stats,
+                )
+
+        configs = self.configs
+        if time_limit is not None:
+            configs = [
+                PortfolioConfig(
+                    c.name,
+                    replace(
+                        c.options,
+                        time_limit=(
+                            time_limit
+                            if c.options.time_limit is None
+                            else min(time_limit, c.options.time_limit)
+                        ),
+                    ),
+                )
+                for c in configs
+            ]
+
+        if self.backend == "process":
+            raw = self._race_process(instance, configs)
+            if raw is None:  # pool could not be created; backend degraded
+                raw = self._race_threads(instance, configs)
+        elif self.backend == "thread":
+            raw = self._race_threads(instance, configs)
+        else:
+            raw = self._race_serial(instance, configs)
+
+        result = self._combine(instance, raw)
+        result.backend = self.backend
+        result.elapsed = time.monotonic() - start
+        if self.cache is not None and result.status in (SAT, UNSAT):
+            self.cache.put(instance, result.to_opp_result())
+        return result
+
+    def _combine(
+        self, instance: PackingInstance, raw: List[Dict[str, Any]]
+    ) -> PortfolioResult:
+        """Merge worker outcomes: first conclusive wins, stats accumulate."""
+        result = PortfolioResult(status=UNKNOWN)
+        for data in raw:
+            name, opp = decode_result(instance, data)
+            result.per_config[name] = opp.stats
+            result.stats.merge(opp.stats)
+            if result.winner is None and opp.status in (SAT, UNSAT):
+                result.status = opp.status
+                result.placement = opp.placement
+                result.certificate = opp.certificate
+                result.stage = opp.stage
+                result.winner = name
+                result.stats.limit = None
+        if result.winner is None and raw:
+            # All inconclusive: surface the first entrant's limit reason.
+            result.stats.limit = raw[0]["stats"].get("limit")
+        return result
+
+    def _race_serial(
+        self, instance: PackingInstance, configs: List[PortfolioConfig]
+    ) -> List[Dict[str, Any]]:
+        outcomes: List[Dict[str, Any]] = []
+        for config in configs:
+            data = run_config_inline(config.name, instance, config.options)
+            outcomes.append(data)
+            if data["status"] in (SAT, UNSAT):
+                break
+        return outcomes
+
+    def _race_threads(
+        self, instance: PackingInstance, configs: List[PortfolioConfig]
+    ) -> List[Dict[str, Any]]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        generation = _Generation()
+        submitted_at = generation.value
+        should_stop = lambda: generation.value != submitted_at  # noqa: E731
+        outcomes: List[Dict[str, Any]] = []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(
+                    run_config_inline,
+                    c.name,
+                    instance,
+                    c.options,
+                    should_stop,
+                )
+                for c in configs
+            ]
+            outcomes = self._harvest(futures, lambda: setattr(generation, "value", submitted_at + 1))
+        return outcomes
+
+    def _race_process(
+        self, instance: PackingInstance, configs: List[PortfolioConfig]
+    ) -> Optional[List[Dict[str, Any]]]:
+        if not self._ensure_pool():
+            return None
+        assert self._pool is not None and self._generation is not None
+        generation = self._generation.value
+        try:
+            futures = [
+                self._pool.submit(
+                    run_portfolio_task,
+                    (generation, c.name, instance, c.options),
+                )
+                for c in configs
+            ]
+        except Exception:
+            # Broken pool (e.g. forbidden fork in a sandbox): degrade once.
+            self.close()
+            self.backend = "thread"
+            return None
+
+        def cancel() -> None:
+            with self._generation.get_lock():
+                self._generation.value += 1
+
+        try:
+            return self._harvest(futures, cancel)
+        except Exception:
+            self.close()
+            self.backend = "thread"
+            return None
+
+    @staticmethod
+    def _harvest(futures: List[Any], cancel: Any) -> List[Dict[str, Any]]:
+        """Wait for the first conclusive future, cancel the rest, and drain
+        them (cancellation is cooperative, so the drain is quick) to merge
+        their partial stats."""
+        outcomes: List[Dict[str, Any]] = []
+        pending = set(futures)
+        cancelled = False
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if not future.cancelled():
+                    outcomes.append(future.result())
+            if not cancelled and any(
+                o["status"] in (SAT, UNSAT) for o in outcomes
+            ):
+                cancelled = True
+                for future in pending:
+                    future.cancel()
+                cancel()
+        return outcomes
+
+
+def solve_opp_portfolio(
+    instance: PackingInstance,
+    configs: Optional[List[PortfolioConfig]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    backend: str = "auto",
+    time_limit: Optional[float] = None,
+) -> PortfolioResult:
+    """One-shot convenience wrapper around :class:`PortfolioSolver`."""
+    with PortfolioSolver(
+        configs=configs, workers=workers, cache=cache, backend=backend
+    ) as solver:
+        return solver.solve(instance, time_limit=time_limit)

@@ -1,0 +1,101 @@
+"""Worker plumbing for the portfolio solver.
+
+The process backend ships whole ``PackingInstance`` / ``SolverOptions``
+objects to the workers (both are plain dataclasses and pickle cleanly) but
+returns only primitives — status, anchor positions, stats fields — so the
+parent rebuilds the :class:`Placement` against *its own* instance object and
+re-validates it, trusting nothing that crossed the process boundary.
+
+Cancellation is cooperative and generation-based: the pool is created with a
+shared integer (``multiprocessing.Value``), every task carries the
+generation it was submitted under, and workers poll the shared value inside
+the branch-and-bound (see ``BranchAndBound.should_stop``).  Bumping the
+generation cancels every outstanding task at once, which lets one pool be
+reused across many solves (BMP/SPP sweeps) without dragging stale losers
+along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.boxes import PackingInstance, Placement
+from ..core.opp import OPPResult, SolverOptions, solve_opp
+from ..core.search import SearchStats
+
+# Set by the pool initializer in each worker process; the parent's thread and
+# serial backends never touch it (they pass should_stop closures directly).
+_GENERATION = None
+
+
+def _init_worker(generation: Any) -> None:
+    global _GENERATION
+    _GENERATION = generation
+
+
+def encode_result(config_name: str, result: OPPResult) -> Dict[str, Any]:
+    return {
+        "config": config_name,
+        "status": result.status,
+        "certificate": result.certificate,
+        "stage": result.stage,
+        "positions": (
+            [list(p) for p in result.placement.positions]
+            if result.placement is not None
+            else None
+        ),
+        "stats": asdict(result.stats),
+    }
+
+
+def decode_result(
+    instance: PackingInstance, data: Dict[str, Any]
+) -> Tuple[str, OPPResult]:
+    """Rebuild an :class:`OPPResult` against the parent's instance.
+
+    SAT witnesses are re-validated geometrically; an invalid one is a solver
+    or transport bug and raises rather than being silently accepted.
+    """
+    placement = None
+    if data["positions"] is not None:
+        placement = Placement(
+            instance, [tuple(p) for p in data["positions"]]
+        )
+        if not placement.is_feasible():
+            raise AssertionError(
+                f"portfolio worker {data['config']!r} returned an infeasible "
+                f"placement: {placement.violations()[:3]}"
+            )
+    result = OPPResult(
+        status=data["status"],
+        placement=placement,
+        certificate=data["certificate"],
+        stats=SearchStats(**data["stats"]),
+        stage=data["stage"],
+    )
+    return data["config"], result
+
+
+def run_portfolio_task(
+    payload: Tuple[int, str, PackingInstance, SolverOptions],
+) -> Dict[str, Any]:
+    """Process-pool entry point: solve one configuration, cooperatively
+    cancelling when the shared generation moves past ours."""
+    generation, name, instance, options = payload
+    shared = _GENERATION
+    should_stop: Optional[Callable[[], bool]] = None
+    if shared is not None:
+        should_stop = lambda: shared.value != generation  # noqa: E731
+    result = solve_opp(instance, options, should_stop=should_stop)
+    return encode_result(name, result)
+
+
+def run_config_inline(
+    name: str,
+    instance: PackingInstance,
+    options: SolverOptions,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Dict[str, Any]:
+    """Thread/serial backends: same encoded contract, no process hop."""
+    return encode_result(name, solve_opp(instance, options, should_stop=should_stop))

@@ -4,7 +4,38 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_OK,
+    EXIT_UNKNOWN,
+    EXIT_UNSAT,
+    build_parser,
+    exit_code_for_status,
+    main,
+)
+
+
+def _write_instance(tmp_path, instance):
+    path = tmp_path / "inst.json"
+    path.write_text(json.dumps(instance))
+    return str(path)
+
+
+SAT_INSTANCE = {
+    "boxes": [
+        {"widths": [1, 1, 1], "name": "a"},
+        {"widths": [1, 1, 1], "name": "b"},
+    ],
+    "container": [2, 2, 2],
+    "precedence": [[0, 1]],
+    "time_axis": 2,
+}
+
+UNSAT_INSTANCE = {
+    "boxes": [{"widths": [3, 3, 3], "name": "big"}],
+    "container": [2, 2, 2],
+    "precedence": None,
+    "time_axis": 2,
+}
 
 
 class TestParser:
@@ -23,6 +54,55 @@ class TestParser:
         )
         assert args.instance == "inst.json"
         assert args.time_limit == 5.0
+
+    def test_solve_parallel_arguments(self):
+        args = build_parser().parse_args(
+            ["solve", "inst.json", "--workers", "4", "--cache", "/tmp/c"]
+        )
+        assert args.workers == 4
+        assert args.cache == "/tmp/c"
+
+    def test_optimizers_accept_workers_and_cache(self):
+        parser = build_parser()
+        for cmd in ("bmp", "spp", "area", "pareto"):
+            extra = ["--width", "8"] if cmd == "spp" else ["--time", "8"]
+            args = parser.parse_args(
+                [cmd, "@de", *extra, "--workers", "2", "--cache", "/tmp/c"]
+            )
+            assert args.workers == 2
+            assert args.cache == "/tmp/c"
+
+
+class TestExitCodes:
+    def test_status_mapping(self):
+        assert exit_code_for_status("sat") == EXIT_OK
+        assert exit_code_for_status("optimal") == EXIT_OK
+        assert exit_code_for_status("unsat") == EXIT_UNSAT
+        assert exit_code_for_status("infeasible") == EXIT_UNSAT
+        assert exit_code_for_status("unknown") == EXIT_UNKNOWN
+
+    def test_solve_unsat_exits_2(self, tmp_path, capsys):
+        path = _write_instance(tmp_path, UNSAT_INSTANCE)
+        assert main(["solve", path]) == EXIT_UNSAT
+        assert "status: unsat" in capsys.readouterr().out
+
+    def test_solve_unknown_exits_3(self, tmp_path, capsys):
+        # Neither bounds nor the greedy heuristic decide this instance, and a
+        # zero time budget stops the search: the solver must give up, not
+        # guess.
+        widths = [
+            [4, 3, 4], [1, 1, 4], [4, 2, 1], [2, 2, 1],
+            [3, 2, 2], [2, 1, 2], [2, 1, 4], [1, 4, 2],
+        ]
+        instance = {
+            "boxes": [{"widths": w, "name": f"h{i}"} for i, w in enumerate(widths)],
+            "container": [4, 5, 6],
+            "precedence": None,
+            "time_axis": 2,
+        }
+        path = _write_instance(tmp_path, instance)
+        assert main(["solve", path, "--time-limit", "0"]) == EXIT_UNKNOWN
+        assert "status: unknown" in capsys.readouterr().out
 
 
 class TestCommands:
@@ -47,27 +127,36 @@ class TestCommands:
         assert "makespan 6" in out
 
     def test_solve_sat(self, tmp_path, capsys):
-        instance = {
-            "boxes": [
-                {"widths": [1, 1, 1], "name": "a"},
-                {"widths": [1, 1, 1], "name": "b"},
-            ],
-            "container": [2, 2, 2],
-            "precedence": [[0, 1]],
-            "time_axis": 2,
-        }
-        path = tmp_path / "inst.json"
-        path.write_text(json.dumps(instance))
-        assert main(["solve", str(path)]) == 0
+        path = _write_instance(tmp_path, SAT_INSTANCE)
+        assert main(["solve", path]) == EXIT_OK
         out = capsys.readouterr().out
         assert "status: sat" in out
+
+    def test_solve_with_portfolio(self, tmp_path, capsys):
+        path = _write_instance(tmp_path, SAT_INSTANCE)
+        assert main(["solve", path, "--workers", "2"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "status: sat" in out
+        assert "winner:" in out and "backend:" in out
+
+    def test_solve_with_cache_dir(self, tmp_path, capsys):
+        path = _write_instance(tmp_path, SAT_INSTANCE)
+        store = tmp_path / "cache"
+        assert main(["solve", path, "--cache", str(store)]) == EXIT_OK
+        assert list(store.iterdir()), "no cache entry written to disk"
+        assert main(["solve", path, "--cache", str(store)]) == EXIT_OK
+        assert "status: sat" in capsys.readouterr().out
+
+    def test_bmp_with_workers(self, capsys):
+        assert main(["bmp", "@fir4", "--time", "4", "--workers", "2"]) == EXIT_OK
+        assert "minimal square chip" in capsys.readouterr().out
 
     def test_bmp_builtin_graph(self, capsys):
         assert main(["bmp", "@de", "--time", "14"]) == 0
         assert "16x16" in capsys.readouterr().out
 
     def test_bmp_infeasible_deadline(self, capsys):
-        assert main(["bmp", "@de", "--time", "5"]) == 1
+        assert main(["bmp", "@de", "--time", "5"]) == EXIT_UNSAT
         assert "infeasible" in capsys.readouterr().out
 
     def test_spp_builtin_graph(self, capsys):
@@ -118,13 +207,6 @@ class TestCommands:
         assert "free-aspect" in out
 
     def test_solve_unsat(self, tmp_path, capsys):
-        instance = {
-            "boxes": [{"widths": [3, 3, 3], "name": "big"}],
-            "container": [2, 2, 2],
-            "precedence": None,
-            "time_axis": 2,
-        }
-        path = tmp_path / "inst.json"
-        path.write_text(json.dumps(instance))
-        assert main(["solve", str(path)]) == 0
+        path = _write_instance(tmp_path, UNSAT_INSTANCE)
+        assert main(["solve", path]) == EXIT_UNSAT
         assert "status: unsat" in capsys.readouterr().out
