@@ -37,10 +37,20 @@ from .io.serialize import instance_from_dict, loads
 # scripts can branch on feasibility without parsing stdout.  ``unknown``
 # (budget exhausted) is distinct from ``unsat``/``infeasible`` — the two
 # previously shared an exit code, which made retry logic impossible.
+# Usage/input errors (malformed or missing JSON, unknown builtin graph)
+# exit with their own code and a one-line stderr message, so batch drivers
+# can tell "your input is bad" (4, do not retry) from "the solver gave up"
+# (3, retry with a bigger budget) and from internal errors (1, report).
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_UNSAT = 2
 EXIT_UNKNOWN = 3
+EXIT_INPUT = 4
+
+
+class _InputError(Exception):
+    """A problem with the user's input (file, JSON shape, graph spec)."""
+
 
 _STATUS_EXIT_CODES = {
     "sat": EXIT_OK,
@@ -115,9 +125,23 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_input(path: str, parse, what: str):
+    """Read + parse a user-supplied JSON file, folding every way it can be
+    bad — missing file, unreadable bytes, invalid JSON, wrong shape — into
+    one :class:`_InputError` naming the file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise _InputError(f"cannot read {what} {path!r}: {exc}") from exc
+    try:
+        return parse(loads(text))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise _InputError(f"malformed {what} {path!r}: {exc}") from exc
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
-    with open(args.instance, "r", encoding="utf-8") as handle:
-        instance = instance_from_dict(loads(handle.read()))
+    instance = _load_input(args.instance, instance_from_dict, "instance file")
     cache = _make_cache(args)
     if args.workers and args.workers > 1:
         from .parallel import solve_opp_portfolio
@@ -140,6 +164,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"status: {result.status} (stage: {result.stage})")
     if result.certificate:
         print(f"certificate: {result.certificate}")
+    for fault in result.faults:
+        who = f" [{fault.entrant}]" if fault.entrant else ""
+        print(f"fault: {fault.kind}{who}: {fault.detail}")
+    if result.status == "unknown" and result.stats.limit:
+        print(f"reason: {result.stats.limit}")
     if result.placement is not None:
         for i, pos in enumerate(result.placement.positions):
             print(f"  {instance.boxes[i]}: anchor {pos}")
@@ -198,19 +227,31 @@ def _load_graph(spec: str):
             return de_task_graph()
         if name == "codec":
             return codec_task_graph()
-        if name.startswith("fir"):
-            from .instances.dsp import fir_filter_task_graph
+        try:
+            if name.startswith("fir"):
+                from .instances.dsp import fir_filter_task_graph
 
-            return fir_filter_task_graph(int(name[3:]))
-        if name.startswith("fft"):
-            from .instances.dsp import fft_task_graph
+                return fir_filter_task_graph(int(name[3:]))
+            if name.startswith("fft"):
+                from .instances.dsp import fft_task_graph
 
-            return fft_task_graph(int(name[3:]))
-        raise SystemExit(f"unknown builtin graph {spec!r}")
+                return fft_task_graph(int(name[3:]))
+        except ValueError as exc:
+            raise _InputError(f"bad builtin graph size {spec!r}: {exc}") from exc
+        raise _InputError(
+            f"unknown builtin graph {spec!r} "
+            "(available: @de, @codec, @fir<N>, @fft<N>)"
+        )
     from .io.serialize import task_graph_from_dict
 
-    with open(spec, "r", encoding="utf-8") as handle:
-        return task_graph_from_dict(loads(handle.read()))
+    return _load_input(spec, task_graph_from_dict, "task-graph file")
+
+
+def _solver_options(args: argparse.Namespace) -> SolverOptions:
+    try:
+        return SolverOptions(time_limit=args.time_limit)
+    except ValueError as exc:
+        raise _InputError(str(exc)) from exc
 
 
 def _probe_engine(args: argparse.Namespace):
@@ -228,8 +269,16 @@ def _probe_engine(args: argparse.Namespace):
 
     solver = PortfolioSolver(workers=workers, cache=cache)
 
-    def opp_solver(instance):
-        return solver.solve(instance, time_limit=args.time_limit).to_opp_result()
+    def opp_solver(instance, time_limit=None, resume_from=None):
+        # ``time_limit``/``resume_from`` are supplied by the sweep's
+        # deadline-budget runner (detected by signature); the tighter of
+        # the budget slice and ``--time-limit`` wins.
+        limits = [l for l in (args.time_limit, time_limit) if l is not None]
+        return solver.solve(
+            instance,
+            time_limit=min(limits) if limits else None,
+            resume_from=resume_from,
+        ).to_opp_result()
 
     return cache, opp_solver, solver.close
 
@@ -243,9 +292,10 @@ def _cmd_bmp(args: argparse.Namespace) -> int:
         outcome = minimize_chip(
             graph,
             args.time,
-            options=SolverOptions(time_limit=args.time_limit),
+            options=_solver_options(args),
             cache=cache,
             opp_solver=opp_solver,
+            deadline_budget=args.deadline_budget,
         )
     finally:
         close()
@@ -269,9 +319,10 @@ def _cmd_spp(args: argparse.Namespace) -> int:
         outcome = minimize_latency(
             graph,
             chip,
-            options=SolverOptions(time_limit=args.time_limit),
+            options=_solver_options(args),
             cache=cache,
             opp_solver=opp_solver,
+            deadline_budget=args.deadline_budget,
         )
     finally:
         close()
@@ -295,9 +346,10 @@ def _cmd_area(args: argparse.Namespace) -> int:
             graph.boxes(),
             graph.dependency_dag() if graph.arcs() else None,
             time_bound=args.time,
-            options=SolverOptions(time_limit=args.time_limit),
+            options=_solver_options(args),
             cache=cache,
             opp_solver=opp_solver,
+            deadline_budget=args.deadline_budget,
         )
     finally:
         close()
@@ -319,9 +371,10 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         front = explore_tradeoffs(
             graph,
             with_dependencies=not args.ignore_dependencies,
-            options=SolverOptions(time_limit=args.time_limit),
+            options=_solver_options(args),
             cache=cache,
             opp_solver=opp_solver,
+            deadline_budget=args.deadline_budget,
         )
     finally:
         close()
@@ -377,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="small end-to-end placement demo")
     sub.add_parser("report", help="run the complete reproduction record")
 
-    def graph_command(name: str, help_text: str):
+    def graph_command(name: str, help_text: str, optimizer: bool = True):
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument(
             "graph", help="task-graph JSON path or a builtin (@de, @codec, @fir8, @fft8)"
@@ -386,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--time-limit", type=float, default=None,
             help="per-OPP seconds before giving up",
         )
+        if optimizer:
+            cmd.add_argument(
+                "--deadline-budget", type=float, default=None, metavar="SEC",
+                help="total wall-clock budget across ALL probes of the "
+                "sweep; interrupted probes resume from checkpoints, and "
+                "the result degrades to unknown (exit 3) when it runs out",
+            )
         cmd.add_argument(
             "--workers", type=int, default=None,
             help="race a portfolio of solver configurations on N workers "
@@ -416,7 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop the precedence constraints (Fig. 7's dashed curve)",
     )
 
-    svg = graph_command("svg", "render SVG Gantt chart + floorplans")
+    svg = graph_command("svg", "render SVG Gantt chart + floorplans", optimizer=False)
     svg.add_argument("--width", type=int, required=True)
     svg.add_argument("--height", type=int, default=None)
     svg.add_argument("--time", type=int, required=True)
@@ -440,7 +500,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pareto": _cmd_pareto,
         "svg": _cmd_svg,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
 
 
 if __name__ == "__main__":  # pragma: no cover

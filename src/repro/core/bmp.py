@@ -8,9 +8,10 @@ over OPP decisions solves the problem exactly.
 
 from __future__ import annotations
 
+import inspect
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
 from ..graphs.digraph import DiGraph
@@ -23,8 +24,124 @@ UNKNOWN = "unknown"
 
 # An OPP engine the optimization drivers can be pointed at instead of the
 # sequential ``solve_opp`` — e.g. ``lambda inst: portfolio.solve(inst)
-# .to_opp_result()`` races a solver portfolio per probe.
+# .to_opp_result()`` races a solver portfolio per probe.  Engines that
+# additionally accept ``time_limit=`` / ``resume_from=`` keyword arguments
+# participate fully in deadline budgeting (detected by signature).
 OppSolver = Callable[[PackingInstance], OPPResult]
+
+
+class _ProbeRunner:
+    """Budgeted OPP probing shared by the BMP/SPP/Pareto sweep drivers.
+
+    With no ``budget`` this is a thin dispatcher to ``opp_solver`` /
+    :func:`solve_opp` (legacy behavior).  With a wall-clock ``budget``
+    (seconds, shared across *all* probes of a sweep):
+
+    * each probe's time limit is clipped to the remaining budget, so the
+      sweep overshoots the budget by at most one clipped slice;
+    * a probe that comes back ``unknown`` with a checkpoint — its per-probe
+      time limit was tighter than the remaining budget — is *resumed* from
+      that checkpoint rather than restarted, until it concludes, the budget
+      runs out, or it stops making progress (identical checkpoint twice);
+    * once the budget is spent, probes return ``unknown`` immediately with
+      ``stats.limit == "deadline budget exhausted"``, which the drivers
+      already fold into an ``"unknown"`` result with honest brackets.
+
+    ``resume_slices`` counts continuation slices across the sweep (the
+    node-accounting tests assert resumption actually happened).
+    """
+
+    def __init__(
+        self,
+        options: Optional[SolverOptions] = None,
+        cache: Optional[object] = None,
+        opp_solver: Optional[OppSolver] = None,
+        budget: Optional[float] = None,
+    ) -> None:
+        if budget is not None and budget <= 0:
+            raise ValueError(f"deadline_budget must be positive, got {budget}")
+        self.options = options
+        self.cache = cache
+        self.opp_solver = opp_solver
+        self.budget = budget
+        self.started = time.monotonic()
+        self.resume_slices = 0
+        self._solver_kwargs = (
+            self._supported_kwargs(opp_solver) if opp_solver is not None else frozenset()
+        )
+
+    @staticmethod
+    def _supported_kwargs(solver: OppSolver) -> frozenset:
+        try:
+            params = inspect.signature(solver).parameters
+        except (TypeError, ValueError):
+            return frozenset()
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        ):
+            return frozenset(("time_limit", "resume_from"))
+        return frozenset(
+            name for name in ("time_limit", "resume_from") if name in params
+        )
+
+    def remaining(self) -> Optional[float]:
+        if self.budget is None:
+            return None
+        return self.budget - (time.monotonic() - self.started)
+
+    def _solve_once(
+        self,
+        instance: PackingInstance,
+        time_limit: Optional[float],
+        resume_from: Optional[object],
+    ) -> OPPResult:
+        if self.opp_solver is not None:
+            kwargs = {}
+            if time_limit is not None and "time_limit" in self._solver_kwargs:
+                kwargs["time_limit"] = time_limit
+            if resume_from is not None and "resume_from" in self._solver_kwargs:
+                kwargs["resume_from"] = resume_from
+            return self.opp_solver(instance, **kwargs)
+        options = self.options or SolverOptions()
+        if time_limit is not None:
+            limit = (
+                time_limit
+                if options.time_limit is None
+                else min(options.time_limit, time_limit)
+            )
+            options = replace(options, time_limit=limit)
+        return solve_opp(
+            instance, options, cache=self.cache, resume_from=resume_from
+        )
+
+    def solve(self, instance: PackingInstance) -> OPPResult:
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            exhausted = OPPResult(status="unknown", stage="budget")
+            exhausted.stats.limit = "deadline budget exhausted"
+            return exhausted
+        resume_from = None
+        previous_decisions: Optional[Tuple] = None
+        carried_nodes = 0
+        while True:
+            opp = self._solve_once(instance, remaining, resume_from)
+            opp.stats.nodes += carried_nodes
+            if self.budget is None or opp.status in ("sat", "unsat"):
+                return opp
+            checkpoint = opp.checkpoint
+            remaining = self.remaining()
+            if (
+                checkpoint is None  # unknown for a non-resumable reason
+                or (remaining is not None and remaining <= 0)
+            ):
+                return opp
+            decisions = tuple(checkpoint.decisions)
+            if decisions == previous_decisions:
+                return opp  # stuck: same frontier twice, stop spinning
+            previous_decisions = decisions
+            resume_from = checkpoint
+            carried_nodes = opp.stats.nodes
+            self.resume_slices += 1
 
 
 @dataclass
@@ -90,6 +207,8 @@ def minimize_area(
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
+    deadline_budget: Optional[float] = None,
+    _runner: Optional[_ProbeRunner] = None,
 ) -> "AreaResult":
     """Free-aspect chip minimization: the rectangle ``w × h`` of smallest
     *area* (ties broken toward square) accommodating the tasks within the
@@ -99,7 +218,15 @@ def minimize_area(
     width over its feasible range and binary-searches the minimal height
     for each width (feasibility is monotone in the height for fixed width),
     pruning widths whose best conceivable area cannot beat the incumbent.
+
+    ``deadline_budget`` caps the *total* wall-clock spent across all probes
+    (see :class:`_ProbeRunner`); when it runs out the result degrades to
+    ``"unknown"`` instead of overshooting.
     """
+    runner = _runner or _ProbeRunner(
+        options=options, cache=cache, opp_solver=opp_solver,
+        budget=deadline_budget,
+    )
     result = AreaResult(status=UNKNOWN)
     if not boxes:
         result.status = OPTIMAL
@@ -125,10 +252,7 @@ def minimize_area(
             list(boxes), Container((width, height, time_bound)), precedence
         )
         start = time.monotonic()
-        if opp_solver is not None:
-            opp = opp_solver(instance)
-        else:
-            opp = solve_opp(instance, options, cache=cache)
+        opp = runner.solve(instance)
         result.probes.append(
             Probe(
                 value=width * height,
@@ -215,6 +339,8 @@ def minimize_base(
     max_side: Optional[int] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
+    deadline_budget: Optional[float] = None,
+    _runner: Optional[_ProbeRunner] = None,
 ) -> OptimizationResult:
     """Solve MinA&FindS: the minimal square chip for deadline ``time_bound``.
 
@@ -223,7 +349,16 @@ def minimize_base(
     ``cache`` (a :class:`repro.parallel.cache.ResultCache`) memoizes the OPP
     probes; repeated sweeps over overlapping chip ranges hit instead of
     re-solving.
+
+    ``deadline_budget`` caps the *total* wall-clock spent across all probes
+    of the search; interrupted probes resume from their checkpoints and the
+    result degrades to ``"unknown"`` (with honest ``lower``/``upper``
+    brackets) when the budget runs out — see :class:`_ProbeRunner`.
     """
+    runner = _runner or _ProbeRunner(
+        options=options, cache=cache, opp_solver=opp_solver,
+        budget=deadline_budget,
+    )
     if not boxes:
         return OptimizationResult(status=OPTIMAL, optimum=0, placement=None)
     result = OptimizationResult(status=UNKNOWN)
@@ -245,10 +380,7 @@ def minimize_base(
     def probe(side: int) -> OPPResult:
         instance = _square_instance(boxes, precedence, side, time_bound)
         start = time.monotonic()
-        if opp_solver is not None:
-            opp = opp_solver(instance)
-        else:
-            opp = solve_opp(instance, options, cache=cache)
+        opp = runner.solve(instance)
         result.probes.append(
             Probe(
                 value=side,

@@ -16,14 +16,22 @@ exhaustive search.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from .boxes import PackingInstance, Placement
 from .bounds import prove_infeasible
 from .edgestate import PropagationOptions
-from .search import BranchAndBound, BranchingOptions, SearchStats
+from .search import (
+    BranchAndBound,
+    BranchingOptions,
+    FaultRecord,
+    InjectedFault,
+    SearchCheckpoint,
+    SearchStats,
+)
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -32,7 +40,12 @@ UNKNOWN = "unknown"
 
 @dataclass
 class SolverOptions:
-    """Configuration of the three solver stages (all ablation-friendly)."""
+    """Configuration of the three solver stages (all ablation-friendly).
+
+    ``fault_plan`` is a :class:`repro.parallel.faults.FaultPlan` whose seeded
+    injection points fire during the solve (chaos testing only); when it is
+    ``None`` the ``REPRO_FAULT_PLAN`` environment variable is consulted.
+    """
 
     use_bounds: bool = True
     use_heuristics: bool = True
@@ -42,17 +55,39 @@ class SolverOptions:
     branching: BranchingOptions = field(default_factory=BranchingOptions)
     node_limit: Optional[int] = None
     time_limit: Optional[float] = None
+    fault_plan: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.time_limit is not None and self.time_limit < 0:
+            raise ValueError(
+                f"time_limit must be non-negative, got {self.time_limit}"
+            )
+        if self.node_limit is not None and self.node_limit < 0:
+            raise ValueError(
+                f"node_limit must be non-negative, got {self.node_limit}"
+            )
 
 
 @dataclass
 class OPPResult:
-    """Outcome of one OPP decision."""
+    """Outcome of one OPP decision.
+
+    ``faults`` lists every fault the runtime survived while answering
+    (injected failures, crashed or stalled portfolio entrants, backend
+    degradations); a conclusive verdict with a non-empty ``faults`` list is
+    still exact.  ``checkpoint`` carries the resumable search prefix when
+    the verdict is ``"unknown"`` because a budget ran out — pass it back via
+    ``solve_opp(..., resume_from=checkpoint)`` to continue instead of
+    restarting.
+    """
 
     status: str
     placement: Optional[Placement] = None
     certificate: Optional[str] = None
     stats: SearchStats = field(default_factory=SearchStats)
     stage: str = "search"
+    faults: List[FaultRecord] = field(default_factory=list)
+    checkpoint: Optional[SearchCheckpoint] = None
 
     @property
     def is_sat(self) -> bool:
@@ -69,11 +104,29 @@ class OPPResult:
         return self.stats.limit
 
 
+def _active_fault_plan(options: SolverOptions) -> Optional[object]:
+    """The fault plan to run under: the explicit one, else the env hook.
+
+    An explicit plan is used as given (the portfolio resolves targeting
+    before shipping options to workers); the ``REPRO_FAULT_PLAN`` variable
+    only applies to unnamed (sequential) solves when it carries no target.
+    """
+    plan = options.fault_plan
+    if plan is None and os.environ.get("REPRO_FAULT_PLAN"):
+        from ..parallel.faults import resolve_env_plan
+
+        plan = resolve_env_plan(entrant=None)
+    if plan is not None and not plan.is_active():
+        return None
+    return plan
+
+
 def solve_opp(
     instance: PackingInstance,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> OPPResult:
     """Decide feasibility of a packing instance (the OPP / FeasAT&FindS).
 
@@ -88,6 +141,10 @@ def solve_opp(
     verdicts are reused across calls, keyed by the *canonical* instance form,
     so the monotone container sweeps of BMP/SPP and repeated queries hit
     instead of re-solving.
+
+    ``resume_from`` continues an interrupted branch-and-bound from its
+    checkpoint (the bounds/heuristic stages already ran before the original
+    interruption and are skipped).
     """
     options = options or SolverOptions()
     start = time.monotonic()
@@ -112,14 +169,14 @@ def solve_opp(
         result.stats.elapsed = time.monotonic() - start
         return result
 
-    if options.use_bounds:
+    if options.use_bounds and resume_from is None:
         certificate = prove_infeasible(instance)
         if certificate is not None:
             return finish(
                 OPPResult(status=UNSAT, certificate=certificate, stage="bounds")
             )
 
-    if options.use_heuristics:
+    if options.use_heuristics and resume_from is None:
         from ..heuristics.greedy import heuristic_placement
 
         placement = heuristic_placement(instance)
@@ -128,7 +185,7 @@ def solve_opp(
                 OPPResult(status=SAT, placement=placement, stage="heuristic")
             )
 
-    if options.use_annealing:
+    if options.use_annealing and resume_from is None:
         from ..heuristics.annealing import AnnealingOptions, annealed_placement
 
         placement = annealed_placement(
@@ -146,6 +203,16 @@ def solve_opp(
         node_limit=options.node_limit,
         time_limit=options.time_limit,
         should_stop=should_stop,
+        resume_from=resume_from,
+        fault_plan=_active_fault_plan(options),
     )
     status, placement = solver.solve()
-    return finish(OPPResult(status=status, placement=placement, stats=solver.stats))
+    return finish(
+        OPPResult(
+            status=status,
+            placement=placement,
+            stats=solver.stats,
+            faults=solver.faults,
+            checkpoint=solver.checkpoint,
+        )
+    )

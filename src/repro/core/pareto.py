@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..graphs.digraph import DiGraph
-from .bmp import OPTIMAL, OptimizationResult, minimize_base
+from .bmp import OPTIMAL, OptimizationResult, _ProbeRunner, minimize_base
 from .boxes import Box
 from .opp import SolverOptions
 
@@ -60,15 +60,25 @@ def pareto_front(
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
+    deadline_budget: Optional[float] = None,
 ) -> ParetoFront:
     """Sweep latencies from the minimum achievable upward and minimize the
     chip for each; stop when the chip size reaches its absolute floor (the
     value for a fully sequential schedule), after which no trade-off
     remains.
+
+    ``deadline_budget`` is one wall-clock budget (seconds) shared by *every*
+    OPP probe of the entire sweep — not per latency step — so the whole
+    curve computation lands within the budget, degrading late points to
+    ``"unknown"`` rather than overrunning.
     """
     front = ParetoFront()
     if not boxes:
         return front
+    runner = _ProbeRunner(
+        options=options, cache=cache, opp_solver=opp_solver,
+        budget=deadline_budget,
+    )
     t_min = max(1, minimal_latency(boxes, precedence))
     t_sequential = sum(b.widths[-1] for b in boxes)
     if max_time is None:
@@ -80,6 +90,7 @@ def pareto_front(
         options=options,
         cache=cache,
         opp_solver=opp_solver,
+        _runner=runner,
     )
     floor = floor_result.optimum if floor_result.status == OPTIMAL else None
 
@@ -93,6 +104,7 @@ def pareto_front(
             max_side=previous_side,
             cache=cache,
             opp_solver=opp_solver,
+            _runner=runner,
         )
         front.results.append(result)
         if result.status != OPTIMAL:

@@ -22,9 +22,10 @@ tests) found nothing.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs.chordal import is_chordal
 from .boxes import PackingInstance, Placement
@@ -42,6 +43,117 @@ class LimitReached(Exception):
     """Node or time budget exhausted; the search result is inconclusive."""
 
 
+class InjectedFault(Exception):
+    """A failure injected by a :mod:`repro.parallel.faults` plan.
+
+    ``escalate=False`` faults are caught by the search and turned into an
+    explicit ``unknown`` verdict with a machine-readable reason; escalating
+    faults propagate like an unforeseen bug would, exercising the crash
+    containment of the surrounding runtime (portfolio, worker pool).
+    """
+
+    def __init__(self, reason: str, escalate: bool = False) -> None:
+        super().__init__(reason, escalate)
+        self.reason = reason
+        self.escalate = escalate
+
+
+@dataclass
+class FaultRecord:
+    """One machine-readable fault observed while answering a query.
+
+    ``kind`` is a stable identifier (``"injected"``, ``"pool_broken"``,
+    ``"entrant_error"``, ``"entrant_stalled"``, ``"entrant_abandoned"``,
+    ``"backend_degraded"``, ``"checkpoint_mismatch"``, ...); ``detail`` is
+    free-form context, ``entrant`` names the portfolio configuration the
+    fault hit (when any), and ``attempt`` counts retries.
+    """
+
+    kind: str
+    detail: str = ""
+    entrant: Optional[str] = None
+    attempt: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "entrant": self.entrant,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultRecord":
+        return cls(
+            kind=data["kind"],
+            detail=data.get("detail", ""),
+            entrant=data.get("entrant"),
+            attempt=data.get("attempt", 0),
+        )
+
+
+@dataclass
+class SearchCheckpoint:
+    """A resumable snapshot of an interrupted branch-and-bound run.
+
+    ``decisions`` is the decision prefix — the ``(axis, u, v, value)``
+    assignments on the DFS stack when the search was interrupted.  Since the
+    branching and value heuristics are deterministic functions of the model
+    state, replaying the prefix reproduces the exact tree position; siblings
+    tried *before* each recorded value were already exhausted, so the resume
+    skips them and continues where the interrupted run stopped instead of
+    restarting.  ``fingerprint`` ties the snapshot to the instance and
+    branching configuration that produced it; a mismatched checkpoint is
+    ignored (recorded as a ``checkpoint_mismatch`` fault), never replayed.
+    """
+
+    decisions: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    nodes: int = 0
+    fingerprint: str = ""
+    entrant: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "decisions": [list(d) for d in self.decisions],
+            "nodes": self.nodes,
+            "fingerprint": self.fingerprint,
+            "entrant": self.entrant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchCheckpoint":
+        return cls(
+            decisions=[tuple(d) for d in data.get("decisions", [])],
+            nodes=data.get("nodes", 0),
+            fingerprint=data.get("fingerprint", ""),
+            entrant=data.get("entrant"),
+        )
+
+
+def search_fingerprint(
+    instance: PackingInstance,
+    branching: Optional["BranchingOptions"] = None,
+    pre_states: Optional[List[Tuple[int, int, int, int]]] = None,
+    pre_arcs: Optional[List[Tuple[int, int, int]]] = None,
+) -> str:
+    """Identity of a search configuration for checkpoint validation."""
+    branching = branching or BranchingOptions()
+    payload = (
+        tuple(instance.container.sizes),
+        instance.time_axis % instance.dimensions,
+        tuple(b.widths for b in instance.boxes),
+        tuple(sorted(instance.precedence.arcs()))
+        if instance.precedence is not None
+        else (),
+        branching.strategy,
+        branching.value_order,
+        branching.time_axis_boost,
+        tuple(pre_states or ()),
+        tuple(pre_arcs or ()),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass
 class SearchStats:
     nodes: int = 0
@@ -52,6 +164,7 @@ class SearchStats:
     propagated_states: int = 0
     propagated_arcs: int = 0
     limit: Optional[str] = None
+    faults: int = 0
 
     def merge_model(self, model: EdgeStateModel) -> None:
         self.conflicts += model.stats.conflicts
@@ -72,6 +185,7 @@ class SearchStats:
         self.propagated_states += other.propagated_states
         self.propagated_arcs += other.propagated_arcs
         self.elapsed = max(self.elapsed, other.elapsed)
+        self.faults += other.faults
 
 
 @dataclass
@@ -110,6 +224,8 @@ class BranchAndBound:
         pre_states: Optional[List[Tuple[int, int, int, int]]] = None,
         pre_arcs: Optional[List[Tuple[int, int, int]]] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        resume_from: Optional[SearchCheckpoint] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
         the search starts — the FixedS problems fix the entire time axis this
@@ -122,7 +238,12 @@ class BranchAndBound:
         ``should_stop`` enables cooperative cancellation: it is polled on the
         same cadence as the time limit, and a ``True`` return abandons the
         search with status ``"unknown"`` (portfolio racing cancels losers
-        this way once one worker settles the instance)."""
+        this way once one worker settles the instance).
+
+        ``resume_from`` replays the decision prefix of an interrupted run
+        (see :class:`SearchCheckpoint`); ``fault_plan`` is a
+        :class:`repro.parallel.faults.FaultPlan` whose injection points fire
+        during the search (testing only)."""
         self.instance = instance
         if pre_states or pre_arcs:
             from dataclasses import replace
@@ -137,7 +258,29 @@ class BranchAndBound:
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.should_stop = should_stop
+        self.fault_plan = fault_plan
         self.stats = SearchStats()
+        self.faults: List[FaultRecord] = []
+        self.checkpoint: Optional[SearchCheckpoint] = None
+        self.resume_from = resume_from
+        self._path: List[Tuple[int, int, int, int]] = []
+        self._fingerprint = search_fingerprint(
+            instance, self.branching, self.pre_states, self.pre_arcs
+        )
+        if (
+            resume_from is not None
+            and resume_from.fingerprint
+            and resume_from.fingerprint != self._fingerprint
+        ):
+            self.faults.append(
+                FaultRecord(
+                    kind="checkpoint_mismatch",
+                    detail="checkpoint belongs to a different instance or "
+                    "branching configuration; restarting from scratch",
+                )
+            )
+            self.stats.faults += 1
+            self.resume_from = None
         self._deadline: Optional[float] = None
         if self.branching.strategy not in ("guided", "static"):
             raise ValueError(f"unknown strategy {self.branching.strategy!r}")
@@ -194,12 +337,38 @@ class BranchAndBound:
                     self.model.propagate()
             except Conflict:
                 return self._finish("unsat", None, start)
-            placement = self._dfs()
+            replay = None
+            if self.resume_from is not None and self.resume_from.decisions:
+                replay = [tuple(d) for d in self.resume_from.decisions]
+                if self.node_limit is not None:
+                    # Replaying the prefix re-visits one node per recorded
+                    # decision (plus the root).  That is not new work: grant
+                    # it on top of the budget, or a checkpoint deeper than
+                    # the node limit could never make progress and chained
+                    # resumes would stall forever at the same frontier.
+                    self.node_limit += len(replay) + 1
+            placement = self._dfs(replay)
             status = "sat" if placement is not None else "unsat"
             return self._finish(status, placement, start)
         except LimitReached as limit:
             self.stats.limit = str(limit)
+            self.checkpoint = self._snapshot()
             return self._finish("unknown", None, start)
+        except InjectedFault as fault:
+            if fault.escalate:
+                raise
+            self.stats.limit = f"fault:{fault.reason}"
+            self.stats.faults += 1
+            self.faults.append(FaultRecord(kind="injected", detail=fault.reason))
+            self.checkpoint = self._snapshot()
+            return self._finish("unknown", None, start)
+
+    def _snapshot(self) -> SearchCheckpoint:
+        return SearchCheckpoint(
+            decisions=[tuple(d) for d in self._path],
+            nodes=self.stats.nodes,
+            fingerprint=self._fingerprint,
+        )
 
     def _finish(
         self, status: str, placement: Optional[Placement], start: float
@@ -208,10 +377,14 @@ class BranchAndBound:
         self.stats.merge_model(self.model)
         return status, placement
 
-    def _dfs(self) -> Optional[Placement]:
+    def _dfs(
+        self, replay: Optional[List[Tuple[int, int, int, int]]] = None
+    ) -> Optional[Placement]:
         self.stats.nodes += 1
         if self.node_limit is not None and self.stats.nodes > self.node_limit:
             raise LimitReached("node limit")
+        if self.fault_plan is not None:
+            self.fault_plan.fire_node(self.stats.nodes)
         if self.stats.nodes % 64 == 0:
             if (
                 self._deadline is not None
@@ -224,14 +397,42 @@ class BranchAndBound:
         if choice is None:
             return self._verify_leaf()
         axis, u, v = choice
-        for value in self._value_order(axis, u, v):
+        resume_value: Optional[int] = None
+        descend: Optional[List[Tuple[int, int, int, int]]] = None
+        if replay:
+            head = replay[0]
+            if (head[0], head[1], head[2]) == (axis, u, v):
+                resume_value, descend = head[3], replay[1:]
+            # Otherwise the checkpoint has drifted from this tree (e.g. a
+            # propagation change); explore the subtree in full — sound,
+            # merely slower.
+        values = self._value_order(axis, u, v)
+        if resume_value is not None and resume_value not in values:
+            # Corrupt or foreign checkpoint; never skip siblings on its word.
+            resume_value, descend = None, None
+        skipping = resume_value is not None
+        for value in values:
+            child_replay: Optional[List[Tuple[int, int, int, int]]] = None
+            if skipping:
+                if value != resume_value:
+                    # Siblings ordered before the checkpointed value were
+                    # exhausted by the interrupted run.
+                    continue
+                skipping = False
+                child_replay = descend
             mark = self.model.mark()
             try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire_propagation(self.stats.nodes)
                 self.model.assign_state(axis, u, v, value)
             except Conflict:
                 self.model.rollback(mark)
                 continue
-            placement = self._dfs()
+            # The path is only unwound on a normal return: when a limit or
+            # fault aborts the recursion, the stack as-is IS the checkpoint.
+            self._path.append((axis, u, v, value))
+            placement = self._dfs(child_replay)
+            self._path.pop()
             if placement is not None:
                 return placement
             self.model.rollback(mark)

@@ -14,10 +14,18 @@ from typing import List, Optional, Tuple
 
 from ..graphs.digraph import DiGraph
 from ..heuristics.greedy import heuristic_makespan
-from .bmp import INFEASIBLE, OPTIMAL, UNKNOWN, OppSolver, OptimizationResult, Probe
+from .bmp import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNKNOWN,
+    OppSolver,
+    OptimizationResult,
+    Probe,
+    _ProbeRunner,
+)
 from .boxes import Box, Container, PackingInstance
 from .bounds import makespan_lower_bound
-from .opp import OPPResult, SolverOptions, solve_opp
+from .opp import OPPResult, SolverOptions
 
 
 def _timed_instance(
@@ -38,11 +46,21 @@ def minimize_makespan(
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
+    deadline_budget: Optional[float] = None,
 ) -> OptimizationResult:
     """Solve MinT&FindS: minimal schedule length on a fixed chip.
 
     ``cache`` (a :class:`repro.parallel.cache.ResultCache`) memoizes the OPP
-    probes of the binary search across calls."""
+    probes of the binary search across calls.
+
+    ``deadline_budget`` caps the *total* wall-clock across all probes;
+    interrupted probes resume from their checkpoints, and when the budget
+    runs out the result is ``"unknown"`` with honest brackets (see
+    :class:`repro.core.bmp._ProbeRunner`)."""
+    runner = _ProbeRunner(
+        options=options, cache=cache, opp_solver=opp_solver,
+        budget=deadline_budget,
+    )
     if not boxes:
         return OptimizationResult(status=OPTIMAL, optimum=0)
     result = OptimizationResult(status=UNKNOWN)
@@ -67,10 +85,7 @@ def minimize_makespan(
     def probe(bound: int) -> OPPResult:
         instance = _timed_instance(boxes, precedence, chip, bound)
         start = time.monotonic()
-        if opp_solver is not None:
-            opp = opp_solver(instance)
-        else:
-            opp = solve_opp(instance, options, cache=cache)
+        opp = runner.solve(instance)
         result.probes.append(
             Probe(
                 value=bound,

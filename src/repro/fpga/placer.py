@@ -83,8 +83,12 @@ def minimize_chip(
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
+    deadline_budget: Optional[float] = None,
 ) -> ChipOptimizationOutcome:
-    """MinA&FindS: the smallest square chip for the latency bound."""
+    """MinA&FindS: the smallest square chip for the latency bound.
+
+    ``deadline_budget`` caps the total wall-clock across all OPP probes of
+    the search (interrupted probes resume from checkpoints)."""
     result = minimize_base(
         graph.boxes(),
         _dependency_dag(graph),
@@ -92,6 +96,7 @@ def minimize_chip(
         options=options,
         cache=cache,
         opp_solver=opp_solver,
+        deadline_budget=deadline_budget,
     )
     return _chip_outcome(graph, result)
 
@@ -102,6 +107,7 @@ def minimize_latency(
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
+    deadline_budget: Optional[float] = None,
 ) -> ChipOptimizationOutcome:
     """MinT&FindS: the smallest latency on the given chip."""
     result = minimize_makespan(
@@ -111,6 +117,7 @@ def minimize_latency(
         options=options,
         cache=cache,
         opp_solver=opp_solver,
+        deadline_budget=deadline_budget,
     )
     outcome = ChipOptimizationOutcome(
         status=result.status, optimum=result.optimum, chip=chip, details=result
@@ -163,8 +170,11 @@ def explore_tradeoffs(
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
+    deadline_budget: Optional[float] = None,
 ) -> ParetoFront:
-    """The chip-size / latency Pareto front (Figure 7)."""
+    """The chip-size / latency Pareto front (Figure 7).
+
+    ``deadline_budget`` is shared by every probe of the whole sweep."""
     dag = _dependency_dag(graph) if with_dependencies else None
     return pareto_front(
         graph.boxes(),
@@ -173,6 +183,7 @@ def explore_tradeoffs(
         options=options,
         cache=cache,
         opp_solver=opp_solver,
+        deadline_budget=deadline_budget,
     )
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -35,6 +36,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.boxes import PackingInstance, Placement
 from ..core.opp import SAT, UNSAT, OPPResult
+
+_log = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -186,6 +189,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -200,6 +204,14 @@ class ResultCache:
     written atomically, so a cache outlives the process and can be shared
     between runs.  Invalidation is by deleting the directory (entries never
     go stale on their own: verdicts are exact instance properties).
+
+    Disk entries carry a SHA-256 checksum over their canonical payload
+    encoding.  An entry that fails verification — wrong checksum, truncated
+    or unparseable JSON, or a pre-checksum legacy format — is *quarantined*:
+    moved aside into ``<disk_path>/quarantine/`` for post-mortem, counted in
+    ``stats.quarantined``, logged, and treated as a miss so the verdict is
+    recomputed.  Corruption therefore costs one re-solve, never a wrong or
+    crashing answer.
     """
 
     def __init__(
@@ -294,21 +306,76 @@ class ResultCache:
         path = os.path.join(self.disk_path, f"{key}.json")
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
+                raw = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(path, "unparseable JSON")
+            return None
+        entry = self._verified_payload(raw)
+        if entry is None:
+            self._quarantine(path, "checksum mismatch or unknown format")
             return None
         self._remember(key, entry)
         return entry
+
+    @staticmethod
+    def _payload_checksum(payload: Dict[str, Any]) -> str:
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def _verified_payload(cls, raw: Any) -> Optional[Dict[str, Any]]:
+        """The entry payload iff ``raw`` is a well-formed v2 envelope whose
+        checksum matches; anything else (including legacy unchecksummed
+        entries) is indistinguishable from corruption and rejected."""
+        if not isinstance(raw, dict) or raw.get("v") != 2:
+            return None
+        payload = raw.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if raw.get("sha256") != cls._payload_checksum(payload):
+            return None
+        return payload
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a bad entry aside (never serve it, never silently lose the
+        evidence) and count it; deletion is the fallback when the move
+        itself fails."""
+        dest_dir = os.path.join(self.disk_path, "quarantine")
+        dest = os.path.join(dest_dir, os.path.basename(path))
+        try:
+            os.makedirs(dest_dir, exist_ok=True)
+            os.replace(path, dest)
+            _log.warning(
+                "quarantined corrupt cache entry %s (%s) -> %s",
+                path, reason, dest,
+            )
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            _log.warning(
+                "dropped corrupt cache entry %s (%s); quarantine move failed",
+                path, reason,
+            )
+        self.stats.quarantined += 1
 
     def _store(self, key: str, entry: Dict[str, Any]) -> None:
         self._remember(key, entry)
         if self.disk_path is None:
             return
+        envelope = {
+            "v": 2,
+            "sha256": self._payload_checksum(entry),
+            "payload": entry,
+        }
         path = os.path.join(self.disk_path, f"{key}.json")
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
+                json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
             os.replace(tmp, path)
         except OSError:
             # A read-only or full disk degrades to memory-only caching.

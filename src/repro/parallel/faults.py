@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the solver runtime.
+
+The resilience claims of the portfolio runtime — a crashed worker never
+loses the race, a corrupted cache entry never changes a verdict, a stalled
+entrant never blocks the answer — are only worth something if they are
+*testable*.  This module provides seeded, reproducible failure modes that
+the chaos suite (``tests/test_chaos.py``) drives through the public API:
+
+* **worker kill** — the process hosting an entrant dies abruptly
+  (``os._exit``) at a chosen search node, exactly like an OOM kill or a
+  stray ``SIGKILL``; in the thread/serial backends (where killing the
+  process would take the host down) the same plan raises an escalating
+  :class:`~repro.core.search.InjectedFault` instead, which exercises the
+  same containment path;
+* **propagation raise** — an unexpected exception from deep inside the
+  search, simulating a propagation-rule bug;
+* **entrant stall** — a worker stops making progress for a fixed period,
+  simulating a livelock or a page-thrashing host;
+* **cache corruption** — :func:`corrupt_cache_entry` damages an on-disk
+  verdict entry (truncation, bit flip, or garbage), which the checksum
+  layer of :class:`~repro.parallel.cache.ResultCache` must quarantine.
+
+Plans are activated per solve via ``SolverOptions.fault_plan`` or globally
+via the ``REPRO_FAULT_PLAN`` environment variable (a JSON object with the
+same field names, e.g. ``{"raise_at_node": 10, "target": "static"}``).
+Every injection point is keyed on the deterministic search-node counter, so
+a failing chaos run reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+from ..core.search import InjectedFault
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+# Exit status of a deliberately killed worker; distinctive in core dumps and
+# CI logs, meaningless to the parent (it only sees the broken pool).
+KILL_EXIT_CODE = 86
+
+_log = logging.getLogger(__name__)
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of injection points for one solve.
+
+    All ``*_at_node`` triggers are 1-based search-node counts; ``target``
+    restricts the plan to one portfolio entrant by name (``None`` applies it
+    everywhere, including unnamed sequential solves).  ``escalate`` lets the
+    propagation raise escape the solver like an unforeseen bug instead of
+    being converted to a recorded ``unknown``.
+    """
+
+    kill_at_node: Optional[int] = None
+    raise_at_node: Optional[int] = None
+    stall_at_node: Optional[int] = None
+    stall_seconds: float = 30.0
+    target: Optional[str] = None
+    escalate: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_at_node", "raise_at_node", "stall_at_node"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be a positive node count")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be non-negative")
+
+    # -- activation --------------------------------------------------------
+
+    def is_active(self) -> bool:
+        return (
+            self.kill_at_node is not None
+            or self.raise_at_node is not None
+            or self.stall_at_node is not None
+        )
+
+    def applies_to(self, entrant: Optional[str]) -> bool:
+        return self.target is None or self.target == entrant
+
+    # -- injection points (called from BranchAndBound) ---------------------
+
+    def fire_node(self, node: int) -> None:
+        """Node-entry injection point: worker kill and entrant stall."""
+        if self.kill_at_node == node:
+            if _in_worker_process():
+                os._exit(KILL_EXIT_CODE)
+            raise InjectedFault("worker_kill", escalate=True)
+        if self.stall_at_node == node:
+            time.sleep(self.stall_seconds)
+
+    def fire_propagation(self, node: int) -> None:
+        """Propagation injection point: an unexpected internal exception."""
+        if self.raise_at_node == node:
+            raise InjectedFault("propagation_raise", escalate=self.escalate)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        return cls.from_dict(data)
+
+
+#: A plan that fires nothing — used by workers to mark fault resolution as
+#: already done, so the solver core does not consult the environment again.
+NO_FAULTS = FaultPlan()
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """Parse ``REPRO_FAULT_PLAN``; a malformed value is logged and ignored
+    (an injection harness must never be able to break a production solve)."""
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    try:
+        return FaultPlan.from_json(text)
+    except (ValueError, TypeError) as exc:
+        _log.warning("ignoring malformed %s: %s", ENV_VAR, exc)
+        return None
+
+
+def resolve_env_plan(entrant: Optional[str]) -> Optional[FaultPlan]:
+    """The environment plan as seen by one entrant (``None`` if untargeted)."""
+    plan = plan_from_env()
+    if plan is None or not plan.applies_to(entrant):
+        return None
+    return plan
+
+
+def resolve_plan(plan: Optional[FaultPlan], entrant: Optional[str]) -> FaultPlan:
+    """Resolve the plan a portfolio worker should solve under.
+
+    Returns the applicable plan, or :data:`NO_FAULTS` when none applies —
+    never ``None``, so downstream code knows resolution already happened and
+    skips the environment hook.
+    """
+    if plan is None:
+        plan = plan_from_env()
+    if plan is None or not plan.is_active() or not plan.applies_to(entrant):
+        return NO_FAULTS
+    return plan
+
+
+def corrupt_cache_entry(disk_path: str, seed: int = 0) -> str:
+    """Deterministically damage one on-disk cache entry; returns its path.
+
+    The seed selects both the victim file and the corruption mode
+    (truncation, a single flipped byte, or syntactically broken JSON), so a
+    chaos run that catches a quarantine bug names the exact reproduction.
+    """
+    files = sorted(
+        name for name in os.listdir(disk_path) if name.endswith(".json")
+    )
+    if not files:
+        raise ValueError(f"no cache entries to corrupt under {disk_path!r}")
+    rng = random.Random(seed)
+    name = rng.choice(files)
+    path = os.path.join(disk_path, name)
+    mode = rng.choice(("truncate", "bitflip", "garbage"))
+    with open(path, "rb") as handle:
+        raw = bytearray(handle.read())
+    if mode == "truncate" or len(raw) < 4:
+        raw = raw[: len(raw) // 2]
+    elif mode == "bitflip":
+        index = rng.randrange(len(raw))
+        raw[index] ^= 0x20
+    else:
+        raw = bytearray(b"{not json" + bytes(raw[:8]))
+    with open(path, "wb") as handle:
+        handle.write(bytes(raw))
+    return path

@@ -20,19 +20,39 @@ Three backends share one code path:
 
 ``SearchStats`` from *all* workers are merged into the result for
 observability (total nodes, conflicts, propagations across the race).
+
+The runtime is fault-tolerant: a worker process dying mid-solve (OOM,
+signal, forbidden fork) breaks the whole ``ProcessPoolExecutor``, so the
+solver rebuilds the pool and re-races the lost entrants under a bounded
+retry/backoff policy (:class:`RetryPolicy`); when pools keep failing the
+backend degrades ``process`` → ``thread`` → ``serial``.  An entrant that
+raises is recorded and excluded (a deterministic bug would raise again); an
+entrant that stalls past the drain grace after a winner is abandoned.
+Every such event lands in ``PortfolioResult.faults`` — a race never turns a
+survivable failure into a crash or a silently wrong answer.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.boxes import PackingInstance, Placement
 from ..core.opp import SAT, UNKNOWN, UNSAT, OPPResult, SolverOptions
-from ..core.search import BranchingOptions, SearchStats
+from ..core.search import (
+    BranchingOptions,
+    FaultRecord,
+    SearchCheckpoint,
+    SearchStats,
+)
 from .cache import ResultCache
 from .workers import (
     _init_worker,
@@ -91,6 +111,35 @@ def default_portfolio() -> List[PortfolioConfig]:
 
 
 @dataclass
+class RetryPolicy:
+    """Bounds on the crash-recovery machinery.
+
+    ``entrant_retries`` caps how often one lost entrant is re-raced after a
+    pool breakage; ``pool_rebuilds`` caps process-pool reconstructions per
+    solve before the backend degrades to threads; the backoff between
+    rebuilds is ``backoff_base * 2**(attempt-1)`` capped at ``backoff_cap``.
+    ``drain_grace`` is how long, after a winner is declared (or past the
+    solve's time limit), the runtime waits for cancelled losers before
+    abandoning them as stalled.
+    """
+
+    entrant_retries: int = 2
+    pool_rebuilds: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    drain_grace: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.entrant_retries < 0 or self.pool_rebuilds < 0:
+            raise ValueError("retry counts must be non-negative")
+        if min(self.backoff_base, self.backoff_cap, self.drain_grace) < 0:
+            raise ValueError("backoff and grace periods must be non-negative")
+
+    def backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+
+
+@dataclass
 class PortfolioResult:
     """Outcome of one portfolio race (an :class:`OPPResult` superset)."""
 
@@ -104,6 +153,8 @@ class PortfolioResult:
     cache_hit: bool = False
     stats: SearchStats = field(default_factory=SearchStats)
     per_config: Dict[str, SearchStats] = field(default_factory=dict)
+    faults: List[FaultRecord] = field(default_factory=list)
+    checkpoint: Optional[SearchCheckpoint] = None
 
     @property
     def is_sat(self) -> bool:
@@ -120,6 +171,8 @@ class PortfolioResult:
             certificate=self.certificate,
             stats=self.stats,
             stage=self.stage,
+            faults=list(self.faults),
+            checkpoint=self.checkpoint,
         )
 
 
@@ -130,6 +183,17 @@ class _Generation:
 
     def __init__(self) -> None:
         self.value = 0
+
+
+@dataclass
+class _Harvest:
+    """Classified outcome of waiting on one round of entrant futures."""
+
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    lost: List[str] = field(default_factory=list)  # died with the pool
+    failed: List[Tuple[str, str]] = field(default_factory=list)  # raised
+    stalled: List[str] = field(default_factory=list)
+    broken: bool = False
 
 
 class PortfolioSolver:
@@ -147,6 +211,7 @@ class PortfolioSolver:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         backend: str = "auto",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.configs = list(configs) if configs else default_portfolio()
         if not self.configs:
@@ -159,6 +224,7 @@ class PortfolioSolver:
             backend = "process" if self.workers > 1 else "serial"
         self.backend = backend
         self.cache = cache
+        self.retry = retry or RetryPolicy()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._generation: Any = None
 
@@ -172,14 +238,17 @@ class PortfolioSolver:
 
     def close(self) -> None:
         if self._pool is not None:
-            if self._generation is not None:
-                with self._generation.get_lock():
-                    self._generation.value += 1
+            self._bump_generation()
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _bump_generation(self) -> None:
+        if self._generation is not None:
+            with self._generation.get_lock():
+                self._generation.value += 1
+
     def _ensure_pool(self) -> bool:
-        """Create the process pool lazily; degrade to threads on failure."""
+        """Create the process pool lazily; report (not decide) failure."""
         if self._pool is not None:
             return True
         try:
@@ -194,10 +263,9 @@ class PortfolioSolver:
                 initargs=(self._generation,),
             )
             return True
-        except (OSError, ImportError, PermissionError, ValueError):
+        except (OSError, ImportError, PermissionError, ValueError, RuntimeError):
             self._pool = None
             self._generation = None
-            self.backend = "thread"
             return False
 
     # -- solving -----------------------------------------------------------
@@ -206,12 +274,14 @@ class PortfolioSolver:
         self,
         instance: PackingInstance,
         time_limit: Optional[float] = None,
+        resume_from: Optional[SearchCheckpoint] = None,
     ) -> PortfolioResult:
         """Race the portfolio on one instance; first conclusive answer wins.
 
         ``time_limit`` (seconds) bounds every entrant that has no tighter
         limit of its own; when all entrants come back inconclusive the
-        result is ``"unknown"``.
+        result is ``"unknown"``.  ``resume_from`` hands an interrupted
+        entrant its checkpoint so it continues instead of restarting.
         """
         start = time.monotonic()
         if self.cache is not None:
@@ -246,31 +316,63 @@ class PortfolioSolver:
                 for c in configs
             ]
 
+        faults: List[FaultRecord] = []
         if self.backend == "process":
-            raw = self._race_process(instance, configs)
-            if raw is None:  # pool could not be created; backend degraded
-                raw = self._race_threads(instance, configs)
+            raw, remaining = self._race_process(
+                instance, configs, faults, resume_from, time_limit
+            )
+            if remaining:
+                self.backend = "thread"
+                faults.append(
+                    FaultRecord(
+                        kind="backend_degraded",
+                        detail="process->thread: worker pool unusable",
+                    )
+                )
+                raw += self._race_threads(
+                    instance, remaining, faults, resume_from, time_limit
+                )
         elif self.backend == "thread":
-            raw = self._race_threads(instance, configs)
+            raw = self._race_threads(
+                instance, configs, faults, resume_from, time_limit
+            )
         else:
-            raw = self._race_serial(instance, configs)
+            raw = self._race_serial(instance, configs, faults, resume_from)
 
-        result = self._combine(instance, raw)
+        result = self._combine(instance, raw, faults)
         result.backend = self.backend
         result.elapsed = time.monotonic() - start
         if self.cache is not None and result.status in (SAT, UNSAT):
             self.cache.put(instance, result.to_opp_result())
         return result
 
+    # -- merging -----------------------------------------------------------
+
     def _combine(
-        self, instance: PackingInstance, raw: List[Dict[str, Any]]
+        self,
+        instance: PackingInstance,
+        raw: List[Dict[str, Any]],
+        faults: List[FaultRecord],
     ) -> PortfolioResult:
         """Merge worker outcomes: first conclusive wins, stats accumulate."""
-        result = PortfolioResult(status=UNKNOWN)
+        result = PortfolioResult(status=UNKNOWN, faults=list(faults))
         for data in raw:
-            name, opp = decode_result(instance, data)
+            try:
+                name, opp = decode_result(instance, data)
+            except (AssertionError, KeyError, TypeError, ValueError) as exc:
+                result.faults.append(
+                    FaultRecord(
+                        kind="entrant_error",
+                        detail=f"undecodable worker result: {exc}",
+                        entrant=str(data.get("config", "?")),
+                    )
+                )
+                continue
             result.per_config[name] = opp.stats
             result.stats.merge(opp.stats)
+            result.faults.extend(opp.faults)
+            if result.checkpoint is None and opp.checkpoint is not None:
+                result.checkpoint = opp.checkpoint
             if result.winner is None and opp.status in (SAT, UNSAT):
                 result.status = opp.status
                 result.placement = opp.placement
@@ -278,98 +380,305 @@ class PortfolioSolver:
                 result.stage = opp.stage
                 result.winner = name
                 result.stats.limit = None
-        if result.winner is None and raw:
-            # All inconclusive: surface the first entrant's limit reason.
-            result.stats.limit = raw[0]["stats"].get("limit")
+        result.stats.faults += len(faults)
+        if result.winner is None:
+            if raw:
+                # All inconclusive: surface the first entrant's limit reason.
+                result.stats.limit = raw[0]["stats"].get("limit")
+            if result.stats.limit is None and result.faults:
+                result.stats.limit = f"fault:{result.faults[0].kind}"
         return result
 
+    # -- backends ----------------------------------------------------------
+
+    @staticmethod
+    def _resume_payload(
+        name: str, resume_from: Optional[SearchCheckpoint]
+    ) -> Optional[Dict[str, Any]]:
+        if resume_from is None:
+            return None
+        if resume_from.entrant is not None and resume_from.entrant != name:
+            return None
+        return resume_from.to_dict()
+
     def _race_serial(
-        self, instance: PackingInstance, configs: List[PortfolioConfig]
+        self,
+        instance: PackingInstance,
+        configs: List[PortfolioConfig],
+        faults: List[FaultRecord],
+        resume_from: Optional[SearchCheckpoint] = None,
     ) -> List[Dict[str, Any]]:
         outcomes: List[Dict[str, Any]] = []
         for config in configs:
-            data = run_config_inline(config.name, instance, config.options)
+            try:
+                data = run_config_inline(
+                    config.name,
+                    instance,
+                    config.options,
+                    None,
+                    self._resume_payload(config.name, resume_from),
+                )
+            except Exception as exc:  # contained *and* recorded, never silent
+                faults.append(
+                    FaultRecord(
+                        kind="entrant_error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        entrant=config.name,
+                    )
+                )
+                continue
             outcomes.append(data)
             if data["status"] in (SAT, UNSAT):
                 break
         return outcomes
 
     def _race_threads(
-        self, instance: PackingInstance, configs: List[PortfolioConfig]
+        self,
+        instance: PackingInstance,
+        configs: List[PortfolioConfig],
+        faults: List[FaultRecord],
+        resume_from: Optional[SearchCheckpoint] = None,
+        time_limit: Optional[float] = None,
     ) -> List[Dict[str, Any]]:
         from concurrent.futures import ThreadPoolExecutor
 
         generation = _Generation()
         submitted_at = generation.value
         should_stop = lambda: generation.value != submitted_at  # noqa: E731
-        outcomes: List[Dict[str, Any]] = []
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+        try:
+            pool = ThreadPoolExecutor(max_workers=self.workers)
+        except (OSError, RuntimeError) as exc:
+            self.backend = "serial"
+            faults.append(
+                FaultRecord(
+                    kind="backend_degraded",
+                    detail=f"thread->serial: {type(exc).__name__}: {exc}",
+                )
+            )
+            return self._race_serial(instance, configs, faults, resume_from)
+        try:
             futures = [
-                pool.submit(
-                    run_config_inline,
+                (
                     c.name,
-                    instance,
-                    c.options,
-                    should_stop,
+                    pool.submit(
+                        run_config_inline,
+                        c.name,
+                        instance,
+                        c.options,
+                        should_stop,
+                        self._resume_payload(c.name, resume_from),
+                    ),
                 )
                 for c in configs
             ]
-            outcomes = self._harvest(futures, lambda: setattr(generation, "value", submitted_at + 1))
-        return outcomes
+            harvest = self._harvest(
+                futures,
+                lambda: setattr(generation, "value", submitted_at + 1),
+                time_limit,
+            )
+        finally:
+            # wait=False: a stalled entrant must not block the answer; its
+            # thread ends on its own once the stall passes.
+            pool.shutdown(wait=False)
+        self._record_entrant_faults(harvest, faults)
+        return harvest.outcomes
 
     def _race_process(
-        self, instance: PackingInstance, configs: List[PortfolioConfig]
-    ) -> Optional[List[Dict[str, Any]]]:
-        if not self._ensure_pool():
-            return None
-        assert self._pool is not None and self._generation is not None
-        generation = self._generation.value
-        try:
-            futures = [
-                self._pool.submit(
-                    run_portfolio_task,
-                    (generation, c.name, instance, c.options),
+        self,
+        instance: PackingInstance,
+        configs: List[PortfolioConfig],
+        faults: List[FaultRecord],
+        resume_from: Optional[SearchCheckpoint] = None,
+        time_limit: Optional[float] = None,
+    ) -> Tuple[List[Dict[str, Any]], List[PortfolioConfig]]:
+        """Race on the process pool, surviving worker crashes.
+
+        Returns ``(outcomes, remaining)``; ``remaining`` is non-empty only
+        when the pool is beyond saving (creation failed or the rebuild
+        budget ran out) and names the entrants the caller should re-race on
+        a degraded backend.
+        """
+        completed: Dict[str, Dict[str, Any]] = {}
+        attempts = {c.name: 0 for c in configs}
+        todo = list(configs)
+        spill: List[PortfolioConfig] = []  # re-raced on a degraded backend
+        rebuilds = 0
+        while todo:
+            if not self._ensure_pool():
+                faults.append(
+                    FaultRecord(
+                        kind="pool_unavailable",
+                        detail="process pool could not be created",
+                        attempt=rebuilds,
+                    )
                 )
-                for c in configs
-            ]
-        except Exception:
-            # Broken pool (e.g. forbidden fork in a sandbox): degrade once.
+                return list(completed.values()), todo + spill
+            generation = self._generation.value
+            try:
+                futures = [
+                    (
+                        c.name,
+                        self._pool.submit(
+                            run_portfolio_task,
+                            (
+                                generation,
+                                c.name,
+                                instance,
+                                c.options,
+                                self._resume_payload(c.name, resume_from),
+                            ),
+                        ),
+                    )
+                    for c in todo
+                ]
+            except (BrokenExecutor, RuntimeError, OSError) as exc:
+                rebuilds += 1
+                faults.append(
+                    FaultRecord(
+                        kind="pool_broken",
+                        detail=f"submit failed: {type(exc).__name__}: {exc}",
+                        attempt=rebuilds,
+                    )
+                )
+                self.close()
+                if rebuilds > self.retry.pool_rebuilds:
+                    return list(completed.values()), todo + spill
+                time.sleep(self.retry.backoff(rebuilds))
+                continue
+
+            harvest = self._harvest(futures, self._bump_generation, time_limit)
+            for data in harvest.outcomes:
+                completed[data["config"]] = data
+            self._record_entrant_faults(harvest, faults)
+            conclusive = any(
+                d["status"] in (SAT, UNSAT) for d in completed.values()
+            )
+            if not harvest.broken or conclusive:
+                # Entrants spilled earlier are moot once someone concluded.
+                return list(completed.values()), [] if conclusive else spill
+
+            # The pool died under us: rebuild it and re-race the entrants it
+            # took down, each under a bounded retry budget.
+            rebuilds += 1
+            faults.append(
+                FaultRecord(
+                    kind="pool_broken",
+                    detail="worker process died mid-race; rebuilding pool",
+                    attempt=rebuilds,
+                )
+            )
             self.close()
-            self.backend = "thread"
-            return None
+            settled = set(completed)
+            settled.update(name for name, _ in harvest.failed)
+            settled.update(harvest.stalled)
+            next_todo: List[PortfolioConfig] = []
+            for config in todo:
+                if config.name in settled:
+                    continue
+                attempts[config.name] += 1
+                if attempts[config.name] > self.retry.entrant_retries:
+                    # Out of process retries: this entrant (or a sibling
+                    # poisoning its pool) keeps crashing; re-race it on a
+                    # degraded backend where a crash cannot take the pool
+                    # — and the other entrants — down with it.
+                    faults.append(
+                        FaultRecord(
+                            kind="entrant_abandoned",
+                            detail="process retry budget exhausted; "
+                            "re-racing on a degraded backend",
+                            entrant=config.name,
+                            attempt=attempts[config.name],
+                        )
+                    )
+                    spill.append(config)
+                    continue
+                next_todo.append(config)
+            todo = next_todo
+            if todo:
+                if rebuilds > self.retry.pool_rebuilds:
+                    return list(completed.values()), todo + spill
+                time.sleep(self.retry.backoff(rebuilds))
+        return list(completed.values()), spill
 
-        def cancel() -> None:
-            with self._generation.get_lock():
-                self._generation.value += 1
+    def _record_entrant_faults(
+        self, harvest: _Harvest, faults: List[FaultRecord]
+    ) -> None:
+        for name, detail in harvest.failed:
+            faults.append(
+                FaultRecord(kind="entrant_error", detail=detail, entrant=name)
+            )
+        for name in harvest.stalled:
+            faults.append(
+                FaultRecord(
+                    kind="entrant_stalled",
+                    detail=f"no result within {self.retry.drain_grace}s grace",
+                    entrant=name,
+                )
+            )
 
-        try:
-            return self._harvest(futures, cancel)
-        except Exception:
-            self.close()
-            self.backend = "thread"
-            return None
-
-    @staticmethod
-    def _harvest(futures: List[Any], cancel: Any) -> List[Dict[str, Any]]:
+    def _harvest(
+        self,
+        futures: List[Tuple[str, Any]],
+        cancel: Any,
+        time_limit: Optional[float] = None,
+    ) -> _Harvest:
         """Wait for the first conclusive future, cancel the rest, and drain
-        them (cancellation is cooperative, so the drain is quick) to merge
-        their partial stats."""
-        outcomes: List[Dict[str, Any]] = []
-        pending = set(futures)
+        them (cancellation is cooperative, so the drain is normally quick)
+        to merge their partial stats.  Entrants that raise are recorded as
+        failed; a broken pool marks the un-harvested rest as lost (they are
+        retried); entrants still running past the drain grace — after a
+        winner, or past the solve's own time limit — are abandoned as
+        stalled rather than allowed to block the answer."""
+        harvest = _Harvest()
+        pending: Dict[Any, str] = {future: name for name, future in futures}
+        deadline: Optional[float] = None
+        if time_limit is not None:
+            deadline = time.monotonic() + time_limit + self.retry.drain_grace
         cancelled = False
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            done, _ = wait(
+                set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                for future, name in pending.items():
+                    future.cancel()
+                    harvest.stalled.append(name)
+                break
             for future in done:
-                if not future.cancelled():
-                    outcomes.append(future.result())
+                name = pending.pop(future)
+                if future.cancelled():
+                    if not cancelled:
+                        harvest.lost.append(name)
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    harvest.outcomes.append(future.result())
+                elif isinstance(exc, BrokenExecutor):
+                    harvest.broken = True
+                    harvest.lost.append(name)
+                else:
+                    harvest.failed.append(
+                        (name, f"{type(exc).__name__}: {exc}")
+                    )
+            if harvest.broken:
+                # Every sibling future shares the dead pool; stop waiting.
+                for future, name in pending.items():
+                    future.cancel()
+                    harvest.lost.append(name)
+                break
             if not cancelled and any(
-                o["status"] in (SAT, UNSAT) for o in outcomes
+                o["status"] in (SAT, UNSAT) for o in harvest.outcomes
             ):
                 cancelled = True
                 for future in pending:
                     future.cancel()
                 cancel()
-        return outcomes
+                grace = time.monotonic() + self.retry.drain_grace
+                deadline = grace if deadline is None else min(deadline, grace)
+        return harvest
 
 
 def solve_opp_portfolio(
@@ -379,9 +688,14 @@ def solve_opp_portfolio(
     cache: Optional[ResultCache] = None,
     backend: str = "auto",
     time_limit: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    resume_from: Optional[SearchCheckpoint] = None,
 ) -> PortfolioResult:
     """One-shot convenience wrapper around :class:`PortfolioSolver`."""
     with PortfolioSolver(
-        configs=configs, workers=workers, cache=cache, backend=backend
+        configs=configs, workers=workers, cache=cache, backend=backend,
+        retry=retry,
     ) as solver:
-        return solver.solve(instance, time_limit=time_limit)
+        return solver.solve(
+            instance, time_limit=time_limit, resume_from=resume_from
+        )

@@ -13,16 +13,21 @@ the branch-and-bound (see ``BranchAndBound.should_stop``).  Bumping the
 generation cancels every outstanding task at once, which lets one pool be
 reused across many solves (BMP/SPP sweeps) without dragging stale losers
 along.
+
+Fault plans (:mod:`repro.parallel.faults`) are resolved here, per entrant:
+a plan targeting one configuration is replaced by the inert plan everywhere
+else, and the environment hook is consulted exactly once per task.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.boxes import PackingInstance, Placement
 from ..core.opp import OPPResult, SolverOptions, solve_opp
-from ..core.search import SearchStats
+from ..core.search import SearchCheckpoint, SearchStats
+from .faults import resolve_plan
 
 # Set by the pool initializer in each worker process; the parent's thread and
 # serial backends never touch it (they pass should_stop closures directly).
@@ -35,6 +40,10 @@ def _init_worker(generation: Any) -> None:
 
 
 def encode_result(config_name: str, result: OPPResult) -> Dict[str, Any]:
+    checkpoint = None
+    if result.checkpoint is not None:
+        result.checkpoint.entrant = config_name
+        checkpoint = result.checkpoint.to_dict()
     return {
         "config": config_name,
         "status": result.status,
@@ -46,6 +55,8 @@ def encode_result(config_name: str, result: OPPResult) -> Dict[str, Any]:
             else None
         ),
         "stats": asdict(result.stats),
+        "faults": [f.to_dict() for f in result.faults],
+        "checkpoint": checkpoint,
     }
 
 
@@ -57,6 +68,8 @@ def decode_result(
     SAT witnesses are re-validated geometrically; an invalid one is a solver
     or transport bug and raises rather than being silently accepted.
     """
+    from ..core.search import FaultRecord
+
     placement = None
     if data["positions"] is not None:
         placement = Placement(
@@ -67,27 +80,45 @@ def decode_result(
                 f"portfolio worker {data['config']!r} returned an infeasible "
                 f"placement: {placement.violations()[:3]}"
             )
+    checkpoint = None
+    if data.get("checkpoint") is not None:
+        checkpoint = SearchCheckpoint.from_dict(data["checkpoint"])
     result = OPPResult(
         status=data["status"],
         placement=placement,
         certificate=data["certificate"],
         stats=SearchStats(**data["stats"]),
         stage=data["stage"],
+        faults=[FaultRecord.from_dict(f) for f in data.get("faults", [])],
+        checkpoint=checkpoint,
     )
     return data["config"], result
 
 
+def _entrant_options(name: str, options: SolverOptions) -> SolverOptions:
+    """Pin the resolved fault plan so the solver core skips the env hook."""
+    return replace(options, fault_plan=resolve_plan(options.fault_plan, name))
+
+
 def run_portfolio_task(
-    payload: Tuple[int, str, PackingInstance, SolverOptions],
+    payload: Tuple[int, str, PackingInstance, SolverOptions, Optional[Dict[str, Any]]],
 ) -> Dict[str, Any]:
     """Process-pool entry point: solve one configuration, cooperatively
     cancelling when the shared generation moves past ours."""
-    generation, name, instance, options = payload
+    generation, name, instance, options, resume = payload
     shared = _GENERATION
     should_stop: Optional[Callable[[], bool]] = None
     if shared is not None:
         should_stop = lambda: shared.value != generation  # noqa: E731
-    result = solve_opp(instance, options, should_stop=should_stop)
+    resume_from = (
+        SearchCheckpoint.from_dict(resume) if resume is not None else None
+    )
+    result = solve_opp(
+        instance,
+        _entrant_options(name, options),
+        should_stop=should_stop,
+        resume_from=resume_from,
+    )
     return encode_result(name, result)
 
 
@@ -96,6 +127,16 @@ def run_config_inline(
     instance: PackingInstance,
     options: SolverOptions,
     should_stop: Optional[Callable[[], bool]] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Thread/serial backends: same encoded contract, no process hop."""
-    return encode_result(name, solve_opp(instance, options, should_stop=should_stop))
+    resume_from = (
+        SearchCheckpoint.from_dict(resume) if resume is not None else None
+    )
+    result = solve_opp(
+        instance,
+        _entrant_options(name, options),
+        should_stop=should_stop,
+        resume_from=resume_from,
+    )
+    return encode_result(name, result)

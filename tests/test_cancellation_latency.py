@@ -1,0 +1,100 @@
+"""Cooperative-cancellation latency: the documented contract is that a
+running search polls its ``should_stop`` hook every 64 nodes, so a losing
+portfolio entrant stops within one 64-node window of the generation bump.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import BranchAndBound, BranchingOptions, SolverOptions
+from repro.instances.random_instances import random_perfect_packing
+from repro.parallel import PortfolioConfig, PortfolioSolver
+
+# Seed 1 of the (5,5,5)/9-box guillotine family: the heuristic stage solves
+# it in ~25 ms while a bounds/heuristics-free static search needs seconds —
+# a wide-enough gap that the race outcome is deterministic.
+_RNG_SEED = 1
+
+
+def _race_instance():
+    rng = random.Random(_RNG_SEED)
+    instance, _ = random_perfect_packing(rng, (5, 5, 5), 9)
+    return instance
+
+
+def _race_configs():
+    return [
+        PortfolioConfig("winner", SolverOptions()),
+        PortfolioConfig(
+            "loser",
+            SolverOptions(
+                use_bounds=False,
+                use_heuristics=False,
+                branching=BranchingOptions(strategy="static"),
+            ),
+        ),
+    ]
+
+
+class TestPollWindow:
+    def test_should_stop_polled_every_64_nodes(self):
+        """The poll cadence itself: the hook fires at exactly the documented
+        node counts, and a positive answer stops the search at that node."""
+        solver = BranchAndBound(
+            _race_instance(),
+            branching=BranchingOptions(strategy="static"),
+        )
+        polls = []
+
+        def should_stop():
+            polls.append(solver.stats.nodes)
+            return len(polls) >= 2
+
+        solver.should_stop = should_stop
+        status, placement = solver.solve()
+        assert status == "unknown"
+        assert placement is None
+        assert solver.stats.limit == "cancelled"
+        assert polls == [64, 128]
+        assert solver.stats.nodes == 128  # stopped at the poll, not later
+
+    def test_cancellation_checkpoint_is_resumable(self):
+        solver = BranchAndBound(
+            _race_instance(),
+            branching=BranchingOptions(strategy="static"),
+        )
+        solver.should_stop = lambda: solver.stats.nodes >= 64
+        status, _ = solver.solve()
+        assert status == "unknown"
+        assert solver.checkpoint is not None
+        assert solver.checkpoint.decisions
+
+
+class TestRaceCancellation:
+    """End-to-end: the loser observes the winner's generation bump and
+    stops within the 64-node window instead of running its multi-second
+    solo search to completion."""
+
+    SOLO_LOSER_SECONDS = 3.0  # measured lower bound for the loser alone
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_loser_cancelled_within_window(self, backend):
+        instance = _race_instance()
+        start = time.monotonic()
+        with PortfolioSolver(
+            configs=_race_configs(), workers=2, backend=backend
+        ) as solver:
+            result = solver.solve(instance)
+        elapsed = time.monotonic() - start
+        assert result.status == "sat"
+        assert result.winner == "winner"
+        # The race must beat the loser's solo runtime by a wide margin:
+        # cancellation, not completion, ended the loser.
+        assert elapsed < self.SOLO_LOSER_SECONDS
+        loser = result.per_config.get("loser")
+        if loser is not None and loser.limit == "cancelled":
+            # Stopped at a poll boundary: the 64-node window held.  (0 means
+            # the bump won the startup race and the loser never searched.)
+            assert loser.nodes % 64 == 0

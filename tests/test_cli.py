@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import (
+    EXIT_INPUT,
     EXIT_OK,
     EXIT_UNKNOWN,
     EXIT_UNSAT,
@@ -195,9 +196,40 @@ class TestCommands:
         assert main(["bmp", str(path), "--time", "3"]) == 0
         assert "minimal square chip" in capsys.readouterr().out
 
-    def test_unknown_builtin_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["bmp", "@nonsense", "--time", "3"])
+    def test_unknown_builtin_rejected(self, capsys):
+        assert main(["bmp", "@nonsense", "--time", "3"]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "unknown builtin graph" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_exits_4(self, capsys):
+        assert main(["solve", "/no/such/file.json"]) == EXIT_INPUT
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_json_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{this is not json")
+        assert main(["solve", str(path)]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "malformed" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_wrong_shape_json_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"tasks": "nope"}))
+        assert main(["bmp", str(path), "--time", "3"]) == EXIT_INPUT
+        assert "malformed" in capsys.readouterr().err
+
+    def test_negative_time_limit_exits_4(self, capsys):
+        assert main(["bmp", "@fir2", "--time", "3", "--time-limit", "-1"]) == EXIT_INPUT
+        assert "time_limit" in capsys.readouterr().err
+
+    def test_deadline_budget_accepted(self, capsys):
+        assert (
+            main(["bmp", "@fir2", "--time", "3", "--deadline-budget", "30"])
+            == EXIT_OK
+        )
+        assert "minimal square chip" in capsys.readouterr().out
 
     def test_report(self, capsys):
         assert main(["report"]) == 0

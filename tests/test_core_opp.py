@@ -246,3 +246,21 @@ class TestAblationConfigurations:
             BranchAndBound(
                 inst, branching=BranchingOptions(value_order="sideways")
             )
+
+
+class TestSolverOptionsValidation:
+    """Bad budgets are rejected at construction, not deep in a solve."""
+
+    def test_negative_time_limit_rejected(self):
+        with pytest.raises(ValueError, match="time_limit"):
+            SolverOptions(time_limit=-1.0)
+
+    def test_negative_node_limit_rejected(self):
+        with pytest.raises(ValueError, match="node_limit"):
+            SolverOptions(node_limit=-5)
+
+    def test_zero_budgets_allowed(self):
+        # Zero is a meaningful budget ("give up immediately"), not an error.
+        opts = SolverOptions(time_limit=0.0, node_limit=0)
+        assert opts.time_limit == 0.0
+        assert opts.node_limit == 0
