@@ -11,6 +11,17 @@ generate:
 
 All benchmarks assert the verdicts stay identical — the portfolio and the
 cache are latency optimizations, never answer changes.
+
+Besides the pytest-benchmark suite, the module runs standalone as the CI
+smoke check::
+
+    python benchmarks/bench_portfolio.py --smoke [--trace PATH] [--metrics]
+                                         [--workers N] [--probes N]
+
+which drives a representative slice of every instrumented path (sequential
+probes, a portfolio race, a cached BMP re-sweep) in a few seconds, asserts
+the verdicts agree, and — with ``--trace`` — exports the whole run's
+telemetry as a JSON-Lines artifact.
 """
 
 import pytest
@@ -84,3 +95,91 @@ def test_bmp_cached_resweep(benchmark, de_graph):
     assert result.status == "optimal"
     assert result.optimum == expected_side
     assert cache.stats.hits > 0
+
+
+def run_smoke(argv=None) -> int:
+    """The CI smoke run: every instrumented path once, telemetry optional.
+
+    Exercises the sequential solver, the racing portfolio, and a warm-cache
+    BMP re-sweep on small fixed-seed workloads; verdicts must agree across
+    paths.  With ``--trace``/``--metrics`` one Telemetry records the whole
+    run — the exported JSONL covers solve, probe, entrant, and search spans.
+    """
+    import argparse
+    import time
+
+    from repro.instances.de import de_task_graph
+    from repro.telemetry import Telemetry
+
+    parser = argparse.ArgumentParser(description="portfolio benchmark smoke")
+    parser.add_argument("--smoke", action="store_true", help="run the smoke")
+    parser.add_argument("--trace", default=None, metavar="PATH")
+    parser.add_argument("--metrics", action="store_true")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--probes", type=int, default=12)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("standalone runs require --smoke "
+                     "(the benchmark suite itself runs under pytest)")
+
+    telemetry = Telemetry() if (args.trace or args.metrics) else None
+    started = time.monotonic()
+
+    instances = list(differential_instances(SEED, args.probes))
+    sequential = [
+        solve_opp(inst, telemetry=telemetry).status for inst in instances
+    ]
+
+    # One probe with stages 1-2 disabled so the run always exercises the
+    # branch-and-bound itself (search spans + node counters in the trace).
+    searched = solve_opp(
+        instances[0],
+        options=SolverOptions(use_bounds=False, use_heuristics=False),
+        telemetry=telemetry,
+    )
+    assert searched.status == sequential[0], "search disagreed with staged"
+
+    solver = PortfolioSolver(
+        workers=args.workers, backend="thread", telemetry=telemetry
+    )
+    try:
+        raced = [solver.solve(inst).status for inst in instances]
+    finally:
+        solver.close()
+    assert raced == sequential, "portfolio disagreed with sequential"
+
+    graph = de_task_graph()
+    cache = ResultCache()
+    if telemetry is not None:
+        cache.instrument(telemetry)
+    boxes, dag = graph.boxes(), graph.dependency_dag()
+    cold = minimize_base(
+        boxes, dag, time_bound=14, cache=cache, telemetry=telemetry
+    )
+    warm = minimize_base(
+        boxes, dag, time_bound=14, cache=cache, telemetry=telemetry
+    )
+    expected_side, _ = TABLE_1[14]
+    assert (cold.status, cold.optimum) == ("optimal", expected_side)
+    assert (warm.status, warm.optimum) == ("optimal", expected_side)
+    assert cache.stats.hits > 0, "warm re-sweep never hit the cache"
+
+    elapsed = time.monotonic() - started
+    print(
+        f"smoke ok: {len(instances)} probes sequential+portfolio, "
+        f"BMP h_t=14 cold+warm, {elapsed:.2f}s"
+    )
+    if telemetry is not None:
+        if args.trace:
+            telemetry.write_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            print()
+            print(telemetry.report())
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(run_smoke())

@@ -6,9 +6,10 @@ FPGAs, modeled as 3-D orthogonal packing and solved via *packing classes* —
 a graph-theoretic characterization of feasible packings — extended with the
 paper's implication machinery for temporal precedence constraints.
 
-Quickstart::
+Quickstart — the unified facade covers every problem of the paper::
 
-    from repro.fpga import TaskGraph, ModuleType, square_chip, place
+    import repro
+    from repro.fpga import TaskGraph, ModuleType
 
     mul = ModuleType("MUL", width=16, height=16, duration=2)
     alu = ModuleType("ALU", width=16, height=1, duration=1)
@@ -16,24 +17,60 @@ Quickstart::
     a = g.add_task("a", mul)
     b = g.add_task("b", alu)
     g.add_dependency(a, b)
-    outcome = place(g, square_chip(16), time_bound=3)
-    print(outcome.schedule.gantt())
 
-Main entry points:
+    result = repro.solve(g, problem="bmp", time_bound=3)
+    print(result.status, result.value)
 
+All entry points share a common result protocol (``.status``, ``.value``,
+``.stats``, ``.faults``, ``.trace``) and keyword-only configuration; see
+:mod:`repro.api`.  Observability — span traces, metrics, human reports —
+lives in :mod:`repro.telemetry` and is threaded through everything via the
+``telemetry=`` keyword (or ``--trace`` / ``--metrics`` on the CLI).
+
+Main modules:
+
+* :mod:`repro.api` — the :func:`solve` facade and the result protocol;
 * :mod:`repro.fpga` — domain API (task graphs, chips, `place`,
   `minimize_chip`, `minimize_latency`, `explore_tradeoffs`);
 * :mod:`repro.core` — the packing engine (OPP/BMP/SPP/FixedS solvers,
   packing classes, bounds);
+* :mod:`repro.parallel` — the racing portfolio, result cache, fault plans;
+* :mod:`repro.telemetry` — tracing and metrics;
 * :mod:`repro.instances` — the paper's DE and video-codec benchmarks;
 * :mod:`repro.baselines` — the comparison approaches the paper rejects.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import baselines, core, fpga, graphs, heuristics, instances, io
+from . import (
+    baselines,
+    core,
+    fpga,
+    graphs,
+    heuristics,
+    instances,
+    io,
+    parallel,
+    telemetry,
+)
+from .api import PROBLEMS, solve
+from .core.opp import OPPResult, SolverOptions
+from .parallel.cache import ResultCache
+from .parallel.portfolio import PortfolioSolver
+from .telemetry import Telemetry
 
 __all__ = [
+    # the facade
+    "solve",
+    "PROBLEMS",
+    # the knobs a typical caller touches
+    "SolverOptions",
+    "OPPResult",
+    "ResultCache",
+    "PortfolioSolver",
+    "Telemetry",
+    # submodules
+    "api",
     "baselines",
     "core",
     "fpga",
@@ -41,5 +78,7 @@ __all__ = [
     "heuristics",
     "instances",
     "io",
+    "parallel",
+    "telemetry",
     "__version__",
 ]

@@ -1,0 +1,65 @@
+"""Back-compat shims for the keyword-only public API.
+
+Since PR 3 every public ``solve_*`` / ``minimize_*`` entry point takes only
+the instance description positionally; configuration (options, cache,
+workers, budgets, telemetry) is keyword-only.  Old positional call sites
+keep working through :func:`keyword_only`, which maps the surplus positional
+arguments onto their historical parameter names and raises a
+:class:`DeprecationWarning` naming the rewrite — one release of warning
+before the positional forms go away.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, Sequence, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def keyword_only(allowed: int, legacy: Sequence[str]) -> Callable[[F], F]:
+    """Allow up to ``allowed`` positional arguments; map any surplus onto the
+    ``legacy`` names (the pre-redesign positional order) with a
+    ``DeprecationWarning``.
+
+    The wrapped function must declare everything in ``legacy`` keyword-only;
+    a surplus argument that collides with an explicit keyword raises
+    ``TypeError`` exactly like a duplicate argument would.
+    """
+    legacy = tuple(legacy)
+
+    def decorate(func: F) -> F:
+        qualname = func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if len(args) > allowed:
+                surplus = args[allowed:]
+                if len(surplus) > len(legacy):
+                    raise TypeError(
+                        f"{qualname}() takes at most "
+                        f"{allowed + len(legacy)} positional arguments "
+                        f"({allowed + len(surplus)} given)"
+                    )
+                names = legacy[: len(surplus)]
+                warnings.warn(
+                    f"passing {', '.join(names)} to {qualname}() positionally "
+                    "is deprecated; pass keyword arguments "
+                    f"({', '.join(f'{n}=...' for n in names)})",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for name, value in zip(names, surplus):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{qualname}() got multiple values for "
+                            f"argument {name!r}"
+                        )
+                    kwargs[name] = value
+                args = args[:allowed]
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

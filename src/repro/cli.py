@@ -32,6 +32,7 @@ from .instances.de import TABLE_1, de_task_graph
 from .instances.video_codec import TABLE_2, codec_task_graph
 from .io.report import format_table, pareto_report, table1_report
 from .io.serialize import instance_from_dict, loads
+from .telemetry import Telemetry
 
 # Exit codes: conclusive answers are distinguishable by code alone, so
 # scripts can branch on feasibility without parsing stdout.  ``unknown``
@@ -66,6 +67,11 @@ def exit_code_for_status(status: str) -> int:
     return _STATUS_EXIT_CODES.get(status, EXIT_ERROR)
 
 
+def _telemetry(args: argparse.Namespace):
+    """The CLI-invocation telemetry (``None`` unless --trace/--metrics)."""
+    return getattr(args, "telemetry", None)
+
+
 def _make_cache(args: argparse.Namespace):
     """A disk-backed verdict cache when ``--cache DIR`` was given."""
     path = getattr(args, "cache", None)
@@ -73,7 +79,11 @@ def _make_cache(args: argparse.Namespace):
         return None
     from .parallel import ResultCache
 
-    return ResultCache(disk_path=path)
+    cache = ResultCache(disk_path=path)
+    telemetry = _telemetry(args)
+    if telemetry is not None:
+        cache.instrument(telemetry)
+    return cache
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -81,7 +91,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     results = []
     for time_bound in sorted(TABLE_1):
         result = minimize_base(
-            graph.boxes(), graph.dependency_dag(), time_bound=time_bound
+            graph.boxes(),
+            graph.dependency_dag(),
+            time_bound=time_bound,
+            telemetry=_telemetry(args),
         )
         results.append((time_bound, result))
     print("Table 1 — DE benchmark, minimal square chip per deadline (MinA&FindS)")
@@ -92,9 +105,14 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     graph = codec_task_graph()
     start = time.monotonic()
-    outcome = minimize_latency(graph, square_chip(64))
+    outcome = minimize_latency(graph, square_chip(64), telemetry=_telemetry(args))
     elapsed = time.monotonic() - start
-    smaller = place(graph, square_chip(63), time_bound=TABLE_2["latency"] * 4)
+    smaller = place(
+        graph,
+        square_chip(63),
+        TABLE_2["latency"] * 4,
+        telemetry=_telemetry(args),
+    )
     print("Table 2 — video codec (H.261), minimal latency on the smallest chip")
     print(
         format_table(
@@ -116,8 +134,12 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
     graph = de_task_graph()
-    with_prec = explore_tradeoffs(graph, with_dependencies=True)
-    without_prec = explore_tradeoffs(graph, with_dependencies=False)
+    with_prec = explore_tradeoffs(
+        graph, with_dependencies=True, telemetry=_telemetry(args)
+    )
+    without_prec = explore_tradeoffs(
+        graph, with_dependencies=False, telemetry=_telemetry(args)
+    )
     print("Figure 7 — DE benchmark, area/latency trade-off")
     print(pareto_report(with_prec, "with precedence constraints, solid"))
     print()
@@ -151,6 +173,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
             time_limit=args.time_limit,
+            telemetry=_telemetry(args),
         )
         result = portfolio.to_opp_result()
         print(
@@ -160,7 +183,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     else:
         options = SolverOptions(time_limit=args.time_limit)
-        result = solve_opp(instance, options, cache=cache)
+        result = solve_opp(
+            instance, options=options, cache=cache, telemetry=_telemetry(args)
+        )
         print(f"status: {result.status} (stage: {result.stage})")
     if result.certificate:
         print(f"certificate: {result.certificate}")
@@ -193,7 +218,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     graph = de_task_graph()
     start = time.monotonic()
-    area = minimize_area(graph.boxes(), graph.dependency_dag(), time_bound=6)
+    area = minimize_area(
+        graph.boxes(),
+        graph.dependency_dag(),
+        time_bound=6,
+        telemetry=_telemetry(args),
+    )
     print(
         f"free-aspect DE chip at h_t=6: {area.width}x{area.height} "
         f"({area.area} cells vs 1024 for the square optimum; "
@@ -204,7 +234,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     graph = de_task_graph()
-    outcome = place(graph, square_chip(32), time_bound=6)
+    outcome = place(graph, square_chip(32), 6, telemetry=_telemetry(args))
     if not outcome.is_feasible or outcome.schedule is None:
         print("demo placement unexpectedly failed", file=sys.stderr)
         return 1
@@ -267,7 +297,9 @@ def _probe_engine(args: argparse.Namespace):
         return cache, None, (lambda: None)
     from .parallel import PortfolioSolver
 
-    solver = PortfolioSolver(workers=workers, cache=cache)
+    solver = PortfolioSolver(
+        workers=workers, cache=cache, telemetry=_telemetry(args)
+    )
 
     def opp_solver(instance, time_limit=None, resume_from=None):
         # ``time_limit``/``resume_from`` are supplied by the sweep's
@@ -296,6 +328,7 @@ def _cmd_bmp(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            telemetry=_telemetry(args),
         )
     finally:
         close()
@@ -323,6 +356,7 @@ def _cmd_spp(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            telemetry=_telemetry(args),
         )
     finally:
         close()
@@ -350,6 +384,7 @@ def _cmd_area(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            telemetry=_telemetry(args),
         )
     finally:
         close()
@@ -375,6 +410,7 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            telemetry=_telemetry(args),
         )
     finally:
         close()
@@ -388,7 +424,7 @@ def _cmd_svg(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     chip = Chip(args.width, args.height or args.width)
-    outcome = place(graph, chip, args.time)
+    outcome = place(graph, chip, args.time, telemetry=_telemetry(args))
     if not outcome.is_feasible or outcome.schedule is None:
         print(f"status: {outcome.status} ({outcome.certificate})")
         return 1
@@ -410,11 +446,33 @@ def build_parser() -> argparse.ArgumentParser:
             "constraints (Fekete-Koehler-Teich, DATE 2001)"
         ),
     )
+    # Observability flags shared by EVERY subcommand: --trace writes the
+    # whole invocation's span tree as JSON-Lines, --metrics prints a human
+    # summary (nodes, prunes, cache hit rate, probe timings) at the end.
+    observe = argparse.ArgumentParser(add_help=False)
+    observe.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSON-Lines span trace of this invocation to PATH",
+    )
+    observe.add_argument(
+        "--metrics", action="store_true",
+        help="print a telemetry summary (nodes, prunes, cache, probes) "
+        "after the command finishes",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1", help="reproduce Table 1 (DE benchmark BMP)")
-    sub.add_parser("table2", help="reproduce Table 2 (video codec)")
-    sub.add_parser("fig7", help="reproduce Figure 7 (Pareto fronts)")
-    solve = sub.add_parser("solve", help="decide a JSON packing instance")
+    sub.add_parser(
+        "table1", help="reproduce Table 1 (DE benchmark BMP)", parents=[observe]
+    )
+    sub.add_parser(
+        "table2", help="reproduce Table 2 (video codec)", parents=[observe]
+    )
+    sub.add_parser(
+        "fig7", help="reproduce Figure 7 (Pareto fronts)", parents=[observe]
+    )
+    solve = sub.add_parser(
+        "solve", help="decide a JSON packing instance", parents=[observe]
+    )
     solve.add_argument("instance", help="path to a JSON instance file")
     solve.add_argument(
         "--time-limit", type=float, default=None, help="seconds before giving up"
@@ -427,11 +485,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="DIR",
         help="directory for the on-disk verdict cache (created if missing)",
     )
-    sub.add_parser("demo", help="small end-to-end placement demo")
-    sub.add_parser("report", help="run the complete reproduction record")
+    sub.add_parser(
+        "demo", help="small end-to-end placement demo", parents=[observe]
+    )
+    sub.add_parser(
+        "report", help="run the complete reproduction record", parents=[observe]
+    )
 
     def graph_command(name: str, help_text: str, optimizer: bool = True):
-        cmd = sub.add_parser(name, help=help_text)
+        cmd = sub.add_parser(name, help=help_text, parents=[observe])
         cmd.add_argument(
             "graph", help="task-graph JSON path or a builtin (@de, @codec, @fir8, @fft8)"
         )
@@ -487,6 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # One Telemetry instance spans the whole invocation (all probes of a
+    # sweep, all portfolio entrants); handlers read it via _telemetry(args).
+    args.telemetry = (
+        Telemetry()
+        if (getattr(args, "trace", None) or getattr(args, "metrics", False))
+        else None
+    )
     handlers = {
         "table1": _cmd_table1,
         "table2": _cmd_table2,
@@ -501,10 +570,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "svg": _cmd_svg,
     }
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
     except _InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return EXIT_INPUT
+        code = EXIT_INPUT
+    telemetry = args.telemetry
+    if telemetry is not None:
+        # Emit telemetry even when the command failed — a trace of the run
+        # that hit the limit is exactly what you want to look at.
+        if args.trace:
+            try:
+                telemetry.write_trace(args.trace)
+            except OSError as exc:
+                print(
+                    f"error: cannot write trace {args.trace!r}: {exc}",
+                    file=sys.stderr,
+                )
+                if code == EXIT_OK:
+                    code = EXIT_INPUT
+        if args.metrics:
+            print()
+            print(telemetry.report())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,9 +14,12 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
+from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
+from ..telemetry import coerce as _coerce_telemetry
 from .boxes import Box, Container, PackingInstance, Placement
 from .opp import OPPResult, SolverOptions, solve_opp
+from .search import FaultRecord
 
 OPTIMAL = "optimal"
 INFEASIBLE = "infeasible"
@@ -57,6 +60,7 @@ class _ProbeRunner:
         cache: Optional[object] = None,
         opp_solver: Optional[OppSolver] = None,
         budget: Optional[float] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         if budget is not None and budget <= 0:
             raise ValueError(f"deadline_budget must be positive, got {budget}")
@@ -64,6 +68,7 @@ class _ProbeRunner:
         self.cache = cache
         self.opp_solver = opp_solver
         self.budget = budget
+        self.telemetry = _coerce_telemetry(telemetry)
         self.started = time.monotonic()
         self.resume_slices = 0
         self._solver_kwargs = (
@@ -111,7 +116,11 @@ class _ProbeRunner:
             )
             options = replace(options, time_limit=limit)
         return solve_opp(
-            instance, options, cache=self.cache, resume_from=resume_from
+            instance,
+            options=options,
+            cache=self.cache,
+            resume_from=resume_from,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
         )
 
     def solve(self, instance: PackingInstance) -> OPPResult:
@@ -143,6 +152,43 @@ class _ProbeRunner:
             carried_nodes = opp.stats.nodes
             self.resume_slices += 1
 
+    def probe(self, instance: PackingInstance, value: int, result) -> OPPResult:
+        """Run one budgeted OPP probe for a sweep driver.
+
+        This is the *single* probe path shared by BMP, free-aspect area
+        minimization, SPP, and the Pareto sweep: it wraps the solve in a
+        ``probe`` span, records the ``probe.seconds`` / ``probe.count`` /
+        ``probe.resume_slices`` metrics, appends the :class:`Probe` record to
+        ``result.probes``, and folds survived faults into ``result.faults``.
+        """
+        telemetry = self.telemetry
+        before = self.resume_slices
+        with telemetry.span(
+            "probe", value=value, container=list(instance.container.sizes)
+        ) as span:
+            start = time.monotonic()
+            opp = self.solve(instance)
+            seconds = time.monotonic() - start
+            span.set(status=opp.status, stage=opp.stage, nodes=opp.stats.nodes)
+        if telemetry.enabled:
+            telemetry.counter("probe.count").add()
+            telemetry.histogram("probe.seconds").observe(seconds)
+            slices = self.resume_slices - before
+            if slices:
+                telemetry.counter("probe.resume_slices").add(slices)
+        result.probes.append(
+            Probe(
+                value=value,
+                status=opp.status,
+                seconds=seconds,
+                stage=opp.stage,
+                nodes=opp.stats.nodes,
+            )
+        )
+        if opp.faults:
+            result.faults.extend(opp.faults)
+        return opp
+
 
 @dataclass
 class Probe:
@@ -163,6 +209,10 @@ class OptimizationResult:
     ``placement``), ``"infeasible"`` (no value can ever work), or
     ``"unknown"`` (some probe hit a solver limit; ``lower`` / ``upper``
     bracket the optimum as far as it is known).
+
+    ``value`` / ``stats`` / ``faults`` / ``trace`` implement the common
+    result protocol shared by every solver entry point (see
+    :mod:`repro.api`).
     """
 
     status: str
@@ -171,20 +221,43 @@ class OptimizationResult:
     lower: Optional[int] = None
     upper: Optional[int] = None
     probes: List[Probe] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    trace: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
         return sum(p.seconds for p in self.probes)
 
+    @property
+    def value(self) -> Optional[int]:
+        """The objective value (the optimum), or ``None`` when unknown."""
+        return self.optimum
 
-def _square_instance(
+    @property
+    def stats(self) -> dict:
+        """Aggregate probe statistics (common result protocol)."""
+        return {
+            "probes": len(self.probes),
+            "nodes": sum(p.nodes for p in self.probes),
+            "elapsed": self.total_seconds,
+        }
+
+
+def probe_instance(
     boxes: List[Box],
     precedence: Optional[DiGraph],
-    side: int,
+    width: int,
+    height: int,
     time_bound: int,
 ) -> PackingInstance:
+    """The single construction point for sweep probe instances.
+
+    BMP squares (``width == height``), free-aspect rectangles, and the SPP
+    makespan probes all build their containers here, so caching keys and
+    telemetry instrument one canonical path instead of per-driver copies.
+    """
     return PackingInstance(
-        list(boxes), Container((side, side, time_bound)), precedence
+        list(boxes), Container((width, height, time_bound)), precedence
     )
 
 
@@ -200,19 +273,25 @@ def base_lower_bound(boxes: List[Box], time_bound: int) -> int:
     return max(1, widest, by_volume)
 
 
+@keyword_only(
+    2, ("time_bound", "options", "cache", "opp_solver", "deadline_budget")
+)
 def minimize_area(
     boxes: List[Box],
     precedence: Optional[DiGraph] = None,
+    *,
     time_bound: int = 1,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
     _runner: Optional[_ProbeRunner] = None,
 ) -> "AreaResult":
     """Free-aspect chip minimization: the rectangle ``w × h`` of smallest
     *area* (ties broken toward square) accommodating the tasks within the
-    deadline.
+    deadline.  Everything past ``precedence`` is keyword-only (legacy
+    positional calls warn).
 
     The paper's BMP fixes ``h_x = h_y``; this generalization sweeps the
     width over its feasible range and binary-searches the minimal height
@@ -221,12 +300,32 @@ def minimize_area(
 
     ``deadline_budget`` caps the *total* wall-clock spent across all probes
     (see :class:`_ProbeRunner`); when it runs out the result degrades to
-    ``"unknown"`` instead of overshooting.
+    ``"unknown"`` instead of overshooting.  ``telemetry`` records the sweep
+    under a ``solve`` span (one ``probe`` child per OPP decision).
     """
     runner = _runner or _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget,
+        budget=deadline_budget, telemetry=telemetry,
     )
+    telemetry = runner.telemetry
+    with telemetry.span(
+        "solve", problem="area", boxes=len(boxes), time_bound=time_bound
+    ) as span:
+        result = _minimize_area(boxes, precedence, time_bound, runner)
+        span.set(
+            status=result.status, area=result.area, probes=len(result.probes)
+        )
+    if telemetry.enabled:
+        result.trace = telemetry
+    return result
+
+
+def _minimize_area(
+    boxes: List[Box],
+    precedence: Optional[DiGraph],
+    time_bound: int,
+    runner: _ProbeRunner,
+) -> "AreaResult":
     result = AreaResult(status=UNKNOWN)
     if not boxes:
         result.status = OPTIMAL
@@ -248,21 +347,8 @@ def minimize_area(
     area_floor = -(-total // time_bound)  # ceil(volume / deadline)
 
     def probe(width: int, height: int) -> OPPResult:
-        instance = PackingInstance(
-            list(boxes), Container((width, height, time_bound)), precedence
-        )
-        start = time.monotonic()
-        opp = runner.solve(instance)
-        result.probes.append(
-            Probe(
-                value=width * height,
-                status=opp.status,
-                seconds=time.monotonic() - start,
-                stage=opp.stage,
-                nodes=opp.stats.nodes,
-            )
-        )
-        return opp
+        instance = probe_instance(boxes, precedence, width, height, time_bound)
+        return runner.probe(instance, width * height, result)
 
     best: Optional[Tuple[int, int, int, Placement]] = None  # (area, w, h, pl)
     inconclusive = False
@@ -317,7 +403,12 @@ def minimize_area(
 
 @dataclass
 class AreaResult:
-    """Outcome of free-aspect area minimization."""
+    """Outcome of free-aspect area minimization.
+
+    ``value`` / ``stats`` / ``faults`` / ``trace`` implement the common
+    result protocol shared by every solver entry point (see
+    :mod:`repro.api`).
+    """
 
     status: str
     area: Optional[int] = None
@@ -325,24 +416,55 @@ class AreaResult:
     height: Optional[int] = None
     placement: Optional[Placement] = None
     probes: List[Probe] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    trace: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
         return sum(p.seconds for p in self.probes)
 
+    @property
+    def value(self) -> Optional[int]:
+        """The objective value (the minimal area), or ``None`` when unknown."""
+        return self.area
 
+    @property
+    def stats(self) -> dict:
+        """Aggregate probe statistics (common result protocol)."""
+        return {
+            "probes": len(self.probes),
+            "nodes": sum(p.nodes for p in self.probes),
+            "elapsed": self.total_seconds,
+        }
+
+
+@keyword_only(
+    2,
+    (
+        "time_bound",
+        "options",
+        "max_side",
+        "cache",
+        "opp_solver",
+        "deadline_budget",
+    ),
+)
 def minimize_base(
     boxes: List[Box],
     precedence: Optional[DiGraph] = None,
+    *,
     time_bound: int = 1,
     options: Optional[SolverOptions] = None,
     max_side: Optional[int] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
     _runner: Optional[_ProbeRunner] = None,
 ) -> OptimizationResult:
     """Solve MinA&FindS: the minimal square chip for deadline ``time_bound``.
+    Everything past ``precedence`` is keyword-only (legacy positional calls
+    warn).
 
     ``max_side`` caps the search (default: enough to place all boxes side by
     side, which is always sufficient when the deadline admits any schedule).
@@ -354,11 +476,35 @@ def minimize_base(
     of the search; interrupted probes resume from their checkpoints and the
     result degrades to ``"unknown"`` (with honest ``lower``/``upper``
     brackets) when the budget runs out — see :class:`_ProbeRunner`.
+    ``telemetry`` records the sweep under a ``solve`` span (one ``probe``
+    child per OPP decision).
     """
     runner = _runner or _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget,
+        budget=deadline_budget, telemetry=telemetry,
     )
+    telemetry = runner.telemetry
+    with telemetry.span(
+        "solve", problem="bmp", boxes=len(boxes), time_bound=time_bound
+    ) as span:
+        result = _minimize_base(boxes, precedence, time_bound, max_side, runner)
+        span.set(
+            status=result.status,
+            optimum=result.optimum,
+            probes=len(result.probes),
+        )
+    if telemetry.enabled:
+        result.trace = telemetry
+    return result
+
+
+def _minimize_base(
+    boxes: List[Box],
+    precedence: Optional[DiGraph],
+    time_bound: int,
+    max_side: Optional[int],
+    runner: _ProbeRunner,
+) -> OptimizationResult:
     if not boxes:
         return OptimizationResult(status=OPTIMAL, optimum=0, placement=None)
     result = OptimizationResult(status=UNKNOWN)
@@ -378,19 +524,8 @@ def minimize_base(
         max_side = max(low, sum(max(b.widths[0], b.widths[1]) for b in boxes))
 
     def probe(side: int) -> OPPResult:
-        instance = _square_instance(boxes, precedence, side, time_bound)
-        start = time.monotonic()
-        opp = runner.solve(instance)
-        result.probes.append(
-            Probe(
-                value=side,
-                status=opp.status,
-                seconds=time.monotonic() - start,
-                stage=opp.stage,
-                nodes=opp.stats.nodes,
-            )
-        )
-        return opp
+        instance = probe_instance(boxes, precedence, side, side, time_bound)
+        return runner.probe(instance, side, result)
 
     # Find a feasible upper bound by doubling from the lower bound.
     upper: Optional[int] = None

@@ -336,10 +336,20 @@ ALL_BOUNDS = [
 
 def prove_infeasible(instance: PackingInstance) -> Optional[str]:
     """Run all bounds; return the first infeasibility certificate, if any."""
+    named = prove_infeasible_named(instance)
+    return named[1] if named is not None else None
+
+
+def prove_infeasible_named(
+    instance: PackingInstance,
+) -> Optional[tuple]:
+    """Like :func:`prove_infeasible`, but returns ``(bound_name,
+    certificate)`` so callers (telemetry) can attribute the prune to the
+    bound that proved it."""
     for bound in ALL_BOUNDS:
         certificate = bound(instance)
         if certificate is not None:
-            return certificate
+            return bound.__name__, certificate
     return None
 
 

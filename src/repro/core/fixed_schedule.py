@@ -18,7 +18,9 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
+from ..telemetry import coerce as _coerce_telemetry
 from .bmp import OPTIMAL, UNKNOWN, OptimizationResult, Probe
 from .boxes import Box, Container, PackingInstance, Placement, intervals_overlap
 from .edgestate import COMPONENT
@@ -76,18 +78,23 @@ def _time_axis_assignments(
     return states, arcs
 
 
+@keyword_only(3, ("precedence", "options"))
 def feasible_placement_fixed_schedule(
     boxes: Sequence[Box],
     starts: Sequence[int],
     chip: Tuple[int, int],
+    *,
     precedence: Optional[DiGraph] = None,
     options: Optional[SolverOptions] = None,
+    telemetry: Optional[object] = None,
 ) -> OPPResult:
     """FeasA&FixedS: decide whether the schedule fits the chip spatially.
+    Everything past ``chip`` is keyword-only (legacy positional calls warn).
 
     The returned placement (when SAT) uses exactly the given start times.
     """
     options = options or SolverOptions()
+    telemetry = _coerce_telemetry(telemetry)
     makespan = max(
         (starts[i] + boxes[i].widths[-1] for i in range(len(boxes))), default=1
     )
@@ -96,16 +103,21 @@ def feasible_placement_fixed_schedule(
         list(boxes), Container((chip[0], chip[1], max(1, makespan))), precedence
     )
     states, arcs = _time_axis_assignments(instance, starts)
-    solver = BranchAndBound(
-        instance,
-        propagation=options.propagation,
-        branching=options.branching,
-        node_limit=options.node_limit,
-        time_limit=options.time_limit,
-        pre_states=states,
-        pre_arcs=arcs,
-    )
-    status, placement = solver.solve()
+    with telemetry.span(
+        "search", problem="fixed_feasible", boxes=len(boxes), chip=list(chip)
+    ) as span:
+        solver = BranchAndBound(
+            instance,
+            propagation=options.propagation,
+            branching=options.branching,
+            node_limit=options.node_limit,
+            time_limit=options.time_limit,
+            pre_states=states,
+            pre_arcs=arcs,
+            telemetry=telemetry if telemetry.enabled else None,
+        )
+        status, placement = solver.solve()
+        span.set(status=status, nodes=solver.stats.nodes)
     if placement is not None:
         # Re-anchor the extracted placement onto the exact given start times
         # (the packing class only preserves the overlap structure).
@@ -121,16 +133,48 @@ def feasible_placement_fixed_schedule(
             # The overlap structure is identical, so this cannot happen; be
             # loud if it ever does.
             raise AssertionError("fixed-schedule re-anchoring broke feasibility")
-    return OPPResult(status=status, placement=placement, stats=solver.stats)
+    result = OPPResult(status=status, placement=placement, stats=solver.stats)
+    if telemetry.enabled:
+        result.trace = telemetry
+    return result
 
 
+@keyword_only(2, ("precedence", "options"))
 def minimize_base_fixed_schedule(
     boxes: Sequence[Box],
     starts: Sequence[int],
+    *,
     precedence: Optional[DiGraph] = None,
     options: Optional[SolverOptions] = None,
+    telemetry: Optional[object] = None,
 ) -> OptimizationResult:
-    """MinA&FixedS: the smallest square chip admitting the given schedule."""
+    """MinA&FixedS: the smallest square chip admitting the given schedule.
+    Everything past ``starts`` is keyword-only (legacy positional calls
+    warn)."""
+    telemetry = _coerce_telemetry(telemetry)
+    with telemetry.span(
+        "solve", problem="fixed_area", boxes=len(boxes)
+    ) as span:
+        result = _minimize_base_fixed_schedule(
+            boxes, starts, precedence, options, telemetry
+        )
+        span.set(
+            status=result.status,
+            optimum=result.optimum,
+            probes=len(result.probes),
+        )
+    if telemetry.enabled:
+        result.trace = telemetry
+    return result
+
+
+def _minimize_base_fixed_schedule(
+    boxes: Sequence[Box],
+    starts: Sequence[int],
+    precedence: Optional[DiGraph],
+    options: Optional[SolverOptions],
+    telemetry,
+) -> OptimizationResult:
     result = OptimizationResult(status=UNKNOWN)
     if not boxes:
         result.status = OPTIMAL
@@ -141,14 +185,25 @@ def minimize_base_fixed_schedule(
 
     def probe(side: int) -> OPPResult:
         start_t = time.monotonic()
-        opp = feasible_placement_fixed_schedule(
-            boxes, starts, (side, side), precedence, options
-        )
+        with telemetry.span("probe", value=side) as span:
+            opp = feasible_placement_fixed_schedule(
+                boxes,
+                starts,
+                (side, side),
+                precedence=precedence,
+                options=options,
+                telemetry=telemetry if telemetry.enabled else None,
+            )
+            span.set(status=opp.status, nodes=opp.stats.nodes)
+        seconds = time.monotonic() - start_t
+        if telemetry.enabled:
+            telemetry.counter("probe.count").add()
+            telemetry.histogram("probe.seconds").observe(seconds)
         result.probes.append(
             Probe(
                 value=side,
                 status=opp.status,
-                seconds=time.monotonic() - start_t,
+                seconds=seconds,
                 stage="fixed-schedule",
                 nodes=opp.stats.nodes,
             )

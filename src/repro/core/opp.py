@@ -21,8 +21,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from .._compat import keyword_only
+from ..telemetry import coerce as _coerce_telemetry
 from .boxes import PackingInstance, Placement
-from .bounds import prove_infeasible
+from .bounds import prove_infeasible_named
 from .edgestate import PropagationOptions
 from .search import (
     BranchAndBound,
@@ -88,6 +90,7 @@ class OPPResult:
     stage: str = "search"
     faults: List[FaultRecord] = field(default_factory=list)
     checkpoint: Optional[SearchCheckpoint] = None
+    trace: Optional[object] = None
 
     @property
     def is_sat(self) -> bool:
@@ -96,6 +99,12 @@ class OPPResult:
     @property
     def is_unsat(self) -> bool:
         return self.status == UNSAT
+
+    @property
+    def value(self) -> None:
+        """The OPP is a pure decision problem: no objective value (part of
+        the common result protocol — see :mod:`repro.api`)."""
+        return None
 
     @property
     def limit(self) -> Optional[str]:
@@ -121,16 +130,21 @@ def _active_fault_plan(options: SolverOptions) -> Optional[object]:
     return plan
 
 
+@keyword_only(1, ("options", "cache", "should_stop", "resume_from"))
 def solve_opp(
     instance: PackingInstance,
+    *,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    telemetry: Optional[object] = None,
 ) -> OPPResult:
     """Decide feasibility of a packing instance (the OPP / FeasAT&FindS).
 
-    Returns an :class:`OPPResult` whose ``status`` is ``"sat"`` (with a
+    Everything but the instance is keyword-only (legacy positional calls
+    still work under a ``DeprecationWarning``).  Returns an
+    :class:`OPPResult` whose ``status`` is ``"sat"`` (with a
     geometry-validated placement), ``"unsat"`` (with a certificate when a
     bound proved it), or ``"unknown"`` (node/time limit hit, or cancelled
     through ``should_stop``).  Every path stamps ``stats.elapsed``; limit
@@ -145,8 +159,14 @@ def solve_opp(
     ``resume_from`` continues an interrupted branch-and-bound from its
     checkpoint (the bounds/heuristic stages already ran before the original
     interruption and are skipped).
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`, or ``True`` for a
+    fresh one) records a ``search`` span per call — one *search slice*, since
+    checkpoint-resumed continuations show up as further slices — plus stage
+    spans, sampled node events, and the cache/prune counters.
     """
     options = options or SolverOptions()
+    telemetry = _coerce_telemetry(telemetry)
     start = time.monotonic()
 
     def finish(result: OPPResult) -> OPPResult:
@@ -155,13 +175,21 @@ def solve_opp(
         result.stats.elapsed = time.monotonic() - start
         if cache is not None and result.status in (SAT, UNSAT):
             cache.put(instance, result)
+        if telemetry.enabled:
+            result.trace = telemetry
         return result
 
     if cache is not None:
         hit = cache.get(instance)
         if hit is not None:
             hit.stats.elapsed = time.monotonic() - start
+            if telemetry.enabled:
+                telemetry.counter("cache.hits").add()
+                telemetry.event("cache.hit", status=hit.status)
+                hit.trace = telemetry
             return hit
+        if telemetry.enabled:
+            telemetry.counter("cache.misses").add()
 
     if should_stop is not None and should_stop():
         result = OPPResult(status=UNKNOWN, stage="cancelled")
@@ -170,8 +198,12 @@ def solve_opp(
         return result
 
     if options.use_bounds and resume_from is None:
-        certificate = prove_infeasible(instance)
-        if certificate is not None:
+        named = prove_infeasible_named(instance)
+        if named is not None:
+            bound_name, certificate = named
+            if telemetry.enabled:
+                telemetry.counter(f"prune.{bound_name}").add()
+                telemetry.event("prune", bound=bound_name)
             return finish(
                 OPPResult(status=UNSAT, certificate=certificate, stage="bounds")
             )
@@ -196,17 +228,24 @@ def solve_opp(
                 OPPResult(status=SAT, placement=placement, stage="annealing")
             )
 
-    solver = BranchAndBound(
-        instance,
-        propagation=options.propagation,
-        branching=options.branching,
-        node_limit=options.node_limit,
-        time_limit=options.time_limit,
-        should_stop=should_stop,
-        resume_from=resume_from,
-        fault_plan=_active_fault_plan(options),
-    )
-    status, placement = solver.solve()
+    with telemetry.span("search", resumed=resume_from is not None) as span:
+        solver = BranchAndBound(
+            instance,
+            propagation=options.propagation,
+            branching=options.branching,
+            node_limit=options.node_limit,
+            time_limit=options.time_limit,
+            should_stop=should_stop,
+            resume_from=resume_from,
+            fault_plan=_active_fault_plan(options),
+            telemetry=telemetry if telemetry.enabled else None,
+        )
+        status, placement = solver.solve()
+        span.set(
+            status=status,
+            nodes=solver.stats.nodes,
+            limit=solver.stats.limit,
+        )
     return finish(
         OPPResult(
             status=status,

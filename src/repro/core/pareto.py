@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
 from .bmp import OPTIMAL, OptimizationResult, _ProbeRunner, minimize_base
 from .boxes import Box
 from .opp import SolverOptions
+from .search import FaultRecord
 
 
 @dataclass
@@ -34,14 +36,44 @@ class ParetoPoint:
 
 @dataclass
 class ParetoFront:
-    """The full sweep plus its Pareto-optimal subset."""
+    """The full sweep plus its Pareto-optimal subset.
+
+    ``status`` / ``value`` / ``stats`` / ``faults`` / ``trace`` implement
+    the common result protocol shared by every solver entry point (see
+    :mod:`repro.api`).
+    """
 
     sweep: List[ParetoPoint] = field(default_factory=list)
     points: List[ParetoPoint] = field(default_factory=list)
     results: List[OptimizationResult] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    trace: Optional[object] = None
 
     def as_pairs(self) -> List[Tuple[int, int]]:
         return [(p.time_bound, p.side) for p in self.points]
+
+    @property
+    def status(self) -> str:
+        """``"optimal"`` when every latency step concluded, ``"unknown"``
+        when any ran into a solver limit (the curve may be incomplete)."""
+        if any(r.status == "unknown" for r in self.results):
+            return "unknown"
+        return OPTIMAL
+
+    @property
+    def value(self) -> List[Tuple[int, int]]:
+        """The Pareto-optimal (latency, chip side) pairs."""
+        return self.as_pairs()
+
+    @property
+    def stats(self) -> dict:
+        """Aggregate probe statistics (common result protocol)."""
+        probes = [p for r in self.results for p in r.probes]
+        return {
+            "probes": len(probes),
+            "nodes": sum(p.nodes for p in probes),
+            "elapsed": sum(p.seconds for p in probes),
+        }
 
 
 def minimal_latency(boxes: List[Box], precedence: Optional[DiGraph]) -> int:
@@ -53,32 +85,65 @@ def minimal_latency(boxes: List[Box], precedence: Optional[DiGraph]) -> int:
     return max(durations, default=0)
 
 
+@keyword_only(
+    2, ("max_time", "options", "cache", "opp_solver", "deadline_budget")
+)
 def pareto_front(
     boxes: List[Box],
     precedence: Optional[DiGraph] = None,
+    *,
     max_time: Optional[int] = None,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
 ) -> ParetoFront:
     """Sweep latencies from the minimum achievable upward and minimize the
     chip for each; stop when the chip size reaches its absolute floor (the
     value for a fully sequential schedule), after which no trade-off
-    remains.
+    remains.  Everything past ``precedence`` is keyword-only (legacy
+    positional calls warn).
 
     ``deadline_budget`` is one wall-clock budget (seconds) shared by *every*
     OPP probe of the entire sweep — not per latency step — so the whole
     curve computation lands within the budget, degrading late points to
-    ``"unknown"`` rather than overrunning.
+    ``"unknown"`` rather than overrunning.  ``telemetry`` records the whole
+    sweep under one ``solve`` span; each latency step nests its own BMP
+    ``solve`` span beneath it.
     """
+    runner = _ProbeRunner(
+        options=options, cache=cache, opp_solver=opp_solver,
+        budget=deadline_budget, telemetry=telemetry,
+    )
+    telemetry = runner.telemetry
+    with telemetry.span(
+        "solve", problem="pareto", boxes=len(boxes)
+    ) as span:
+        front = _pareto_front(
+            boxes, precedence, max_time, options, cache, opp_solver, runner
+        )
+        span.set(points=len(front.points), steps=len(front.results))
+    for result in front.results:
+        if result.faults:
+            front.faults.extend(result.faults)
+    if telemetry.enabled:
+        front.trace = telemetry
+    return front
+
+
+def _pareto_front(
+    boxes: List[Box],
+    precedence: Optional[DiGraph],
+    max_time: Optional[int],
+    options: Optional[SolverOptions],
+    cache: Optional[object],
+    opp_solver: Optional[object],
+    runner: _ProbeRunner,
+) -> ParetoFront:
     front = ParetoFront()
     if not boxes:
         return front
-    runner = _ProbeRunner(
-        options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget,
-    )
     t_min = max(1, minimal_latency(boxes, precedence))
     t_sequential = sum(b.widths[-1] for b in boxes)
     if max_time is None:

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Tuple
 
+from .._compat import keyword_only
 from .boxes import Box, Container, PackingInstance, Placement
 
 
@@ -87,16 +88,18 @@ def denormalize_placement(
     return Placement(original, positions)
 
 
-def solve_opp_normalized(instance: PackingInstance, options=None):
+@keyword_only(1, ("options",))
+def solve_opp_normalized(instance: PackingInstance, *, options=None, telemetry=None):
     """Convenience wrapper: normalize, solve, denormalize.
 
-    Returns the same :class:`repro.core.opp.OPPResult` type; the placement
-    (if any) refers to the *original* instance.
+    ``options`` is keyword-only (legacy positional calls warn).  Returns the
+    same :class:`repro.core.opp.OPPResult` type; the placement (if any)
+    refers to the *original* instance.
     """
     from .opp import OPPResult, solve_opp
 
     scaled, scaling = normalize_instance(instance)
-    result = solve_opp(scaled, options)
+    result = solve_opp(scaled, options=options, telemetry=telemetry)
     if result.placement is not None:
         placement = denormalize_placement(result.placement, instance, scaling)
         if not placement.is_feasible():

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .._compat import keyword_only
 from .boxes import Box, PackingInstance, Placement
 from .bounds import prove_infeasible
 from .opp import SolverOptions, solve_opp
@@ -63,12 +64,17 @@ class RotationResult:
     assignments_tried: int = 0
 
 
+@keyword_only(1, ("options", "max_assignments"))
 def solve_opp_with_rotation(
     instance: PackingInstance,
+    *,
     options: Optional[SolverOptions] = None,
     max_assignments: int = 4096,
+    telemetry: Optional[object] = None,
 ) -> RotationResult:
     """Exact OPP with free 90° rotation of every non-square box.
+    Everything past the instance is keyword-only (legacy positional calls
+    warn).
 
     Tries orientation assignments (cheapest first: fewest rotations), each
     filtered by the stage-1 bounds before the full solver runs.  Raises
@@ -94,7 +100,7 @@ def solve_opp_with_rotation(
         result.assignments_tried += 1
         if prove_infeasible(candidate) is not None:
             continue
-        opp = solve_opp(candidate, options)
+        opp = solve_opp(candidate, options=options, telemetry=telemetry)
         if opp.status == "sat":
             return RotationResult(
                 status="sat",

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs.chordal import is_chordal
+from ..telemetry import NODE_SAMPLE_INTERVAL, NO_TELEMETRY
 from .boxes import PackingInstance, Placement
 from .edgestate import (
     COMPARABILITY,
@@ -226,6 +227,7 @@ class BranchAndBound:
         should_stop: Optional[Callable[[], bool]] = None,
         resume_from: Optional[SearchCheckpoint] = None,
         fault_plan: Optional[Any] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
         the search starts — the FixedS problems fix the entire time axis this
@@ -243,8 +245,13 @@ class BranchAndBound:
         ``resume_from`` replays the decision prefix of an interrupted run
         (see :class:`SearchCheckpoint`); ``fault_plan`` is a
         :class:`repro.parallel.faults.FaultPlan` whose injection points fire
-        during the search (testing only)."""
+        during the search (testing only).
+
+        ``telemetry`` (a :class:`repro.telemetry.Telemetry`) receives the
+        search counters and sampled per-node events; the default no-op
+        instance keeps the hot loop free of telemetry cost."""
         self.instance = instance
+        self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         if pre_states or pre_arcs:
             from dataclasses import replace
 
@@ -340,6 +347,13 @@ class BranchAndBound:
             replay = None
             if self.resume_from is not None and self.resume_from.decisions:
                 replay = [tuple(d) for d in self.resume_from.decisions]
+                if self.telemetry.enabled:
+                    self.telemetry.counter("checkpoint.resumes").add()
+                    self.telemetry.event(
+                        "checkpoint.resume",
+                        depth=len(replay),
+                        nodes=self.resume_from.nodes,
+                    )
                 if self.node_limit is not None:
                     # Replaying the prefix re-visits one node per recorded
                     # decision (plus the root).  That is not new work: grant
@@ -375,6 +389,25 @@ class BranchAndBound:
     ) -> Tuple[str, Optional[Placement]]:
         self.stats.elapsed = time.monotonic() - start
         self.stats.merge_model(self.model)
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.counter("search.nodes").add(self.stats.nodes)
+            metrics.counter("search.conflicts").add(self.stats.conflicts)
+            metrics.counter("search.leaves").add(self.stats.leaves)
+            metrics.counter("search.leaf_failures").add(self.stats.leaf_failures)
+            metrics.counter("search.propagated_states").add(
+                self.stats.propagated_states
+            )
+            metrics.counter("search.propagated_arcs").add(
+                self.stats.propagated_arcs
+            )
+            metrics.histogram("search.seconds").observe(self.stats.elapsed)
+            if self.stats.elapsed > 0:
+                metrics.gauge("search.nodes_per_sec").set(
+                    self.stats.nodes / self.stats.elapsed
+                )
+            if status == "unsat":
+                metrics.counter("prune.search").add()
         return status, placement
 
     def _dfs(
@@ -393,6 +426,20 @@ class BranchAndBound:
                 raise LimitReached("time limit")
             if self.should_stop is not None and self.should_stop():
                 raise LimitReached("cancelled")
+            # Sampled node events ride the existing poll cadence, so the
+            # telemetry-off hot loop pays one truthiness check and nothing
+            # else; the interval is a multiple of 64 by construction.
+            if (
+                self.telemetry.enabled
+                and self.stats.nodes % NODE_SAMPLE_INTERVAL == 0
+            ):
+                self.telemetry.event(
+                    "node.sample",
+                    nodes=self.stats.nodes,
+                    depth=len(self._path),
+                    conflicts=self.stats.conflicts,
+                    leaves=self.stats.leaves,
+                )
         choice = self._pick_branch()
         if choice is None:
             return self._verify_leaf()

@@ -8,10 +8,9 @@ conflict cliques, volume) and a heuristic upper bound solves it exactly.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
 from ..heuristics.greedy import heuristic_makespan
 from .bmp import (
@@ -20,35 +19,31 @@ from .bmp import (
     UNKNOWN,
     OppSolver,
     OptimizationResult,
-    Probe,
     _ProbeRunner,
+    probe_instance,
 )
-from .boxes import Box, Container, PackingInstance
+from .boxes import Box
 from .bounds import makespan_lower_bound
 from .opp import OPPResult, SolverOptions
 
 
-def _timed_instance(
-    boxes: List[Box],
-    precedence: Optional[DiGraph],
-    chip: Tuple[int, int],
-    time_bound: int,
-) -> PackingInstance:
-    return PackingInstance(
-        list(boxes), Container((chip[0], chip[1], time_bound)), precedence
-    )
-
-
+@keyword_only(
+    2, ("chip", "options", "cache", "opp_solver", "deadline_budget")
+)
 def minimize_makespan(
     boxes: List[Box],
     precedence: Optional[DiGraph] = None,
+    *,
     chip: Tuple[int, int] = (1, 1),
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
 ) -> OptimizationResult:
     """Solve MinT&FindS: minimal schedule length on a fixed chip.
+    Everything past ``precedence`` is keyword-only (legacy positional calls
+    warn).
 
     ``cache`` (a :class:`repro.parallel.cache.ResultCache`) memoizes the OPP
     probes of the binary search across calls.
@@ -56,11 +51,33 @@ def minimize_makespan(
     ``deadline_budget`` caps the *total* wall-clock across all probes;
     interrupted probes resume from their checkpoints, and when the budget
     runs out the result is ``"unknown"`` with honest brackets (see
-    :class:`repro.core.bmp._ProbeRunner`)."""
+    :class:`repro.core.bmp._ProbeRunner`).  ``telemetry`` records the sweep
+    under a ``solve`` span (one ``probe`` child per OPP decision)."""
     runner = _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget,
+        budget=deadline_budget, telemetry=telemetry,
     )
+    telemetry = runner.telemetry
+    with telemetry.span(
+        "solve", problem="spp", boxes=len(boxes), chip=list(chip)
+    ) as span:
+        result = _minimize_makespan(boxes, precedence, chip, runner)
+        span.set(
+            status=result.status,
+            optimum=result.optimum,
+            probes=len(result.probes),
+        )
+    if telemetry.enabled:
+        result.trace = telemetry
+    return result
+
+
+def _minimize_makespan(
+    boxes: List[Box],
+    precedence: Optional[DiGraph],
+    chip: Tuple[int, int],
+    runner: _ProbeRunner,
+) -> OptimizationResult:
     if not boxes:
         return OptimizationResult(status=OPTIMAL, optimum=0)
     result = OptimizationResult(status=UNKNOWN)
@@ -72,7 +89,9 @@ def minimize_makespan(
             return result
 
     horizon = sum(b.widths[-1] for b in boxes)
-    reference = _timed_instance(boxes, precedence, chip, max(1, horizon))
+    reference = probe_instance(
+        boxes, precedence, chip[0], chip[1], max(1, horizon)
+    )
     low = max(1, makespan_lower_bound(reference))
     upper = heuristic_makespan(reference)
     if upper is None:
@@ -83,19 +102,8 @@ def minimize_makespan(
         low = min(low, upper)
 
     def probe(bound: int) -> OPPResult:
-        instance = _timed_instance(boxes, precedence, chip, bound)
-        start = time.monotonic()
-        opp = runner.solve(instance)
-        result.probes.append(
-            Probe(
-                value=bound,
-                status=opp.status,
-                seconds=time.monotonic() - start,
-                stage=opp.stage,
-                nodes=opp.stats.nodes,
-            )
-        )
-        return opp
+        instance = probe_instance(boxes, precedence, chip[0], chip[1], bound)
+        return runner.probe(instance, bound, result)
 
     lo, hi = low, upper
     best_placement = None

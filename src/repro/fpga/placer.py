@@ -10,6 +10,10 @@ Wraps the packing core with the domain vocabulary:
 * :func:`place_fixed_schedule` / :func:`minimize_chip_fixed_schedule` —
   *FeasA&FixedS* / *MinA&FixedS*: start times given;
 * :func:`explore_tradeoffs` — the area/latency Pareto front of Figure 7.
+
+Every wrapper takes its configuration keyword-only (legacy positional calls
+keep working under a ``DeprecationWarning``) and threads an optional
+``telemetry`` recorder down to the packing core.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .._compat import keyword_only
 from ..core.bmp import OPTIMAL, OptimizationResult, minimize_base
 from ..core.fixed_schedule import (
     feasible_placement_fixed_schedule,
@@ -58,15 +63,21 @@ def _dependency_dag(graph: TaskGraph):
     return graph.dependency_dag() if graph.arcs() else None
 
 
+@keyword_only(3, ("options",))
 def place(
     graph: TaskGraph,
     chip: Chip,
     time_bound: int,
+    *,
     options: Optional[SolverOptions] = None,
+    cache: Optional[object] = None,
+    telemetry: Optional[object] = None,
 ) -> PlacementOutcome:
     """FeasAT&FindS: feasible schedule and placement, if one exists."""
     instance = graph.to_instance(chip, time_bound)
-    result = solve_opp(instance, options)
+    result = solve_opp(
+        instance, options=options, cache=cache, telemetry=telemetry
+    )
     schedule = None
     if result.placement is not None:
         schedule = ReconfigurationSchedule.from_placement(
@@ -77,13 +88,16 @@ def place(
     )
 
 
+@keyword_only(2, ("options", "cache", "opp_solver", "deadline_budget"))
 def minimize_chip(
     graph: TaskGraph,
     time_bound: int,
+    *,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinA&FindS: the smallest square chip for the latency bound.
 
@@ -97,17 +111,21 @@ def minimize_chip(
         cache=cache,
         opp_solver=opp_solver,
         deadline_budget=deadline_budget,
+        telemetry=telemetry,
     )
     return _chip_outcome(graph, result)
 
 
+@keyword_only(2, ("options", "cache", "opp_solver", "deadline_budget"))
 def minimize_latency(
     graph: TaskGraph,
     chip: Chip,
+    *,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinT&FindS: the smallest latency on the given chip."""
     result = minimize_makespan(
@@ -118,6 +136,7 @@ def minimize_latency(
         cache=cache,
         opp_solver=opp_solver,
         deadline_budget=deadline_budget,
+        telemetry=telemetry,
     )
     outcome = ChipOptimizationOutcome(
         status=result.status, optimum=result.optimum, chip=chip, details=result
@@ -129,19 +148,23 @@ def minimize_latency(
     return outcome
 
 
+@keyword_only(3, ("options",))
 def place_fixed_schedule(
     graph: TaskGraph,
     chip: Chip,
     starts: Sequence[int],
+    *,
     options: Optional[SolverOptions] = None,
+    telemetry: Optional[object] = None,
 ) -> PlacementOutcome:
     """FeasA&FixedS: do the given start times admit a spatial placement?"""
     result = feasible_placement_fixed_schedule(
         graph.boxes(),
         list(starts),
         (chip.width, chip.height),
-        _dependency_dag(graph),
-        options,
+        precedence=_dependency_dag(graph),
+        options=options,
+        telemetry=telemetry,
     )
     schedule = None
     if result.placement is not None:
@@ -151,26 +174,46 @@ def place_fixed_schedule(
     return PlacementOutcome(status=result.status, schedule=schedule)
 
 
+@keyword_only(2, ("options",))
 def minimize_chip_fixed_schedule(
     graph: TaskGraph,
     starts: Sequence[int],
+    *,
     options: Optional[SolverOptions] = None,
+    telemetry: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinA&FixedS: smallest square chip for the given start times."""
     result = minimize_base_fixed_schedule(
-        graph.boxes(), list(starts), _dependency_dag(graph), options
+        graph.boxes(),
+        list(starts),
+        precedence=_dependency_dag(graph),
+        options=options,
+        telemetry=telemetry,
     )
     return _chip_outcome(graph, result)
 
 
+@keyword_only(
+    1,
+    (
+        "with_dependencies",
+        "max_time",
+        "options",
+        "cache",
+        "opp_solver",
+        "deadline_budget",
+    ),
+)
 def explore_tradeoffs(
     graph: TaskGraph,
+    *,
     with_dependencies: bool = True,
     max_time: Optional[int] = None,
     options: Optional[SolverOptions] = None,
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    telemetry: Optional[object] = None,
 ) -> ParetoFront:
     """The chip-size / latency Pareto front (Figure 7).
 
@@ -184,6 +227,7 @@ def explore_tradeoffs(
         cache=cache,
         opp_solver=opp_solver,
         deadline_budget=deadline_budget,
+        telemetry=telemetry,
     )
 
 

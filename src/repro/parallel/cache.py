@@ -222,12 +222,28 @@ class ResultCache:
         self.capacity = capacity
         self.disk_path = disk_path
         self.stats = CacheStats()
+        self._telemetry: Optional[Any] = None
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         if disk_path is not None:
             os.makedirs(disk_path, exist_ok=True)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def instrument(self, telemetry: Any) -> "ResultCache":
+        """Mirror this cache's lifecycle counters (stores, evictions,
+        quarantines) into a :class:`repro.telemetry.Telemetry` registry.
+
+        Hit/miss counts are deliberately *not* mirrored here: the lookup
+        sites (``solve_opp``, the portfolio) count them against their own
+        telemetry, and counting in both places would double-book.
+        """
+        self._telemetry = telemetry if telemetry and telemetry.enabled else None
+        return self
+
+    def _count(self, metric: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(metric).add()
 
     def key(self, instance: PackingInstance) -> str:
         return cache_key(instance)
@@ -270,6 +286,7 @@ class ResultCache:
             ]
         self._store(key, entry)
         self.stats.stores += 1
+        self._count("cache.stores")
 
     # -- internals ---------------------------------------------------------
 
@@ -361,6 +378,7 @@ class ResultCache:
                 path, reason,
             )
         self.stats.quarantined += 1
+        self._count("cache.quarantined")
 
     def _store(self, key: str, entry: Dict[str, Any]) -> None:
         self._remember(key, entry)
@@ -390,6 +408,7 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._count("cache.evictions")
 
     def _drop(self, key: str) -> None:
         self._entries.pop(key, None)

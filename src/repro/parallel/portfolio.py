@@ -45,6 +45,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from .._compat import keyword_only
 from ..core.boxes import PackingInstance, Placement
 from ..core.opp import SAT, UNKNOWN, UNSAT, OPPResult, SolverOptions
 from ..core.search import (
@@ -53,6 +54,7 @@ from ..core.search import (
     SearchCheckpoint,
     SearchStats,
 )
+from ..telemetry import coerce as _coerce_telemetry
 from .cache import ResultCache
 from .workers import (
     _init_worker,
@@ -141,7 +143,11 @@ class RetryPolicy:
 
 @dataclass
 class PortfolioResult:
-    """Outcome of one portfolio race (an :class:`OPPResult` superset)."""
+    """Outcome of one portfolio race (an :class:`OPPResult` superset).
+
+    ``value`` / ``trace`` complete the common result protocol shared by
+    every solver entry point (see :mod:`repro.api`).
+    """
 
     status: str
     placement: Optional[Placement] = None
@@ -155,6 +161,7 @@ class PortfolioResult:
     per_config: Dict[str, SearchStats] = field(default_factory=dict)
     faults: List[FaultRecord] = field(default_factory=list)
     checkpoint: Optional[SearchCheckpoint] = None
+    trace: Optional[object] = None
 
     @property
     def is_sat(self) -> bool:
@@ -163,6 +170,12 @@ class PortfolioResult:
     @property
     def is_unsat(self) -> bool:
         return self.status == UNSAT
+
+    @property
+    def value(self) -> None:
+        """The race decides feasibility: no objective value (common result
+        protocol)."""
+        return None
 
     def to_opp_result(self) -> OPPResult:
         return OPPResult(
@@ -212,7 +225,9 @@ class PortfolioSolver:
         cache: Optional[ResultCache] = None,
         backend: str = "auto",
         retry: Optional[RetryPolicy] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
+        self.telemetry = _coerce_telemetry(telemetry)
         self.configs = list(configs) if configs else default_portfolio()
         if not self.configs:
             raise ValueError("portfolio needs at least one configuration")
@@ -270,34 +285,56 @@ class PortfolioSolver:
 
     # -- solving -----------------------------------------------------------
 
+    @keyword_only(2, ("time_limit", "resume_from"))
     def solve(
         self,
         instance: PackingInstance,
+        *,
         time_limit: Optional[float] = None,
         resume_from: Optional[SearchCheckpoint] = None,
     ) -> PortfolioResult:
         """Race the portfolio on one instance; first conclusive answer wins.
+        Everything past the instance is keyword-only (legacy positional
+        calls warn).
 
         ``time_limit`` (seconds) bounds every entrant that has no tighter
         limit of its own; when all entrants come back inconclusive the
         result is ``"unknown"``.  ``resume_from`` hands an interrupted
         entrant its checkpoint so it continues instead of restarting.
         """
+        telemetry = self.telemetry
         start = time.monotonic()
+
+        def finish(result: PortfolioResult) -> PortfolioResult:
+            if telemetry.enabled:
+                for fault in result.faults:
+                    telemetry.counter(f"fault.{fault.kind}").add()
+                    if fault.kind == "pool_broken":
+                        telemetry.counter("portfolio.pool_rebuilds").add()
+                result.trace = telemetry
+            return result
+
         if self.cache is not None:
             hit = self.cache.get(instance)
             if hit is not None:
-                return PortfolioResult(
-                    status=hit.status,
-                    placement=hit.placement,
-                    certificate=hit.certificate,
-                    stage="cache",
-                    winner="cache",
-                    backend=self.backend,
-                    elapsed=time.monotonic() - start,
-                    cache_hit=True,
-                    stats=hit.stats,
+                if telemetry.enabled:
+                    telemetry.counter("cache.hits").add()
+                    telemetry.event("cache.hit", status=hit.status)
+                return finish(
+                    PortfolioResult(
+                        status=hit.status,
+                        placement=hit.placement,
+                        certificate=hit.certificate,
+                        stage="cache",
+                        winner="cache",
+                        backend=self.backend,
+                        elapsed=time.monotonic() - start,
+                        cache_hit=True,
+                        stats=hit.stats,
+                    )
                 )
+            if telemetry.enabled:
+                telemetry.counter("cache.misses").add()
 
         configs = self.configs
         if time_limit is not None:
@@ -344,7 +381,7 @@ class PortfolioSolver:
         result.elapsed = time.monotonic() - start
         if self.cache is not None and result.status in (SAT, UNSAT):
             self.cache.put(instance, result.to_opp_result())
-        return result
+        return finish(result)
 
     # -- merging -----------------------------------------------------------
 
@@ -368,6 +405,17 @@ class PortfolioSolver:
                     )
                 )
                 continue
+            if self.telemetry.enabled:
+                self.telemetry.counter("portfolio.entrants").add()
+                if data.get("telemetry") is not None:
+                    self.telemetry.merge_entrant(
+                        name,
+                        data["telemetry"],
+                        data.get("started"),
+                        data.get("ended"),
+                        status=opp.status,
+                        stage=opp.stage,
+                    )
             result.per_config[name] = opp.stats
             result.stats.merge(opp.stats)
             result.faults.extend(opp.faults)
@@ -417,6 +465,7 @@ class PortfolioSolver:
                     config.options,
                     None,
                     self._resume_payload(config.name, resume_from),
+                    self.telemetry.enabled,
                 )
             except Exception as exc:  # contained *and* recorded, never silent
                 faults.append(
@@ -467,6 +516,7 @@ class PortfolioSolver:
                         c.options,
                         should_stop,
                         self._resume_payload(c.name, resume_from),
+                        self.telemetry.enabled,
                     ),
                 )
                 for c in configs
@@ -526,6 +576,7 @@ class PortfolioSolver:
                                 instance,
                                 c.options,
                                 self._resume_payload(c.name, resume_from),
+                                self.telemetry.enabled,
                             ),
                         ),
                     )
@@ -576,6 +627,8 @@ class PortfolioSolver:
                 if config.name in settled:
                     continue
                 attempts[config.name] += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter("portfolio.retries").add()
                 if attempts[config.name] > self.retry.entrant_retries:
                     # Out of process retries: this entrant (or a sibling
                     # poisoning its pool) keeps crashing; re-race it on a
@@ -681,8 +734,21 @@ class PortfolioSolver:
         return harvest
 
 
+@keyword_only(
+    1,
+    (
+        "configs",
+        "workers",
+        "cache",
+        "backend",
+        "time_limit",
+        "retry",
+        "resume_from",
+    ),
+)
 def solve_opp_portfolio(
     instance: PackingInstance,
+    *,
     configs: Optional[List[PortfolioConfig]] = None,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
@@ -690,11 +756,14 @@ def solve_opp_portfolio(
     time_limit: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    telemetry: Optional[object] = None,
 ) -> PortfolioResult:
-    """One-shot convenience wrapper around :class:`PortfolioSolver`."""
+    """One-shot convenience wrapper around :class:`PortfolioSolver`.
+    Everything past the instance is keyword-only (legacy positional calls
+    warn)."""
     with PortfolioSolver(
         configs=configs, workers=workers, cache=cache, backend=backend,
-        retry=retry,
+        retry=retry, telemetry=telemetry,
     ) as solver:
         return solver.solve(
             instance, time_limit=time_limit, resume_from=resume_from

@@ -21,12 +21,14 @@ else, and the environment hook is consulted exactly once per task.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.boxes import PackingInstance, Placement
 from ..core.opp import OPPResult, SolverOptions, solve_opp
 from ..core.search import SearchCheckpoint, SearchStats
+from ..telemetry import Telemetry
 from .faults import resolve_plan
 
 # Set by the pool initializer in each worker process; the parent's thread and
@@ -39,12 +41,18 @@ def _init_worker(generation: Any) -> None:
     _GENERATION = generation
 
 
-def encode_result(config_name: str, result: OPPResult) -> Dict[str, Any]:
+def encode_result(
+    config_name: str,
+    result: OPPResult,
+    telemetry: Optional[Telemetry] = None,
+    started: Optional[float] = None,
+    ended: Optional[float] = None,
+) -> Dict[str, Any]:
     checkpoint = None
     if result.checkpoint is not None:
         result.checkpoint.entrant = config_name
         checkpoint = result.checkpoint.to_dict()
-    return {
+    encoded = {
         "config": config_name,
         "status": result.status,
         "certificate": result.certificate,
@@ -58,6 +66,13 @@ def encode_result(config_name: str, result: OPPResult) -> Dict[str, Any]:
         "faults": [f.to_dict() for f in result.faults],
         "checkpoint": checkpoint,
     }
+    if telemetry is not None and telemetry.enabled:
+        # Primitives only, like everything else crossing the process
+        # boundary: the parent re-parents the spans under its own trace.
+        encoded["telemetry"] = telemetry.export_payload()
+        encoded["started"] = started
+        encoded["ended"] = ended
+    return encoded
 
 
 def decode_result(
@@ -101,11 +116,18 @@ def _entrant_options(name: str, options: SolverOptions) -> SolverOptions:
 
 
 def run_portfolio_task(
-    payload: Tuple[int, str, PackingInstance, SolverOptions, Optional[Dict[str, Any]]],
+    payload: Tuple[
+        int,
+        str,
+        PackingInstance,
+        SolverOptions,
+        Optional[Dict[str, Any]],
+        bool,
+    ],
 ) -> Dict[str, Any]:
     """Process-pool entry point: solve one configuration, cooperatively
     cancelling when the shared generation moves past ours."""
-    generation, name, instance, options, resume = payload
+    generation, name, instance, options, resume, want_telemetry = payload
     shared = _GENERATION
     should_stop: Optional[Callable[[], bool]] = None
     if shared is not None:
@@ -113,13 +135,16 @@ def run_portfolio_task(
     resume_from = (
         SearchCheckpoint.from_dict(resume) if resume is not None else None
     )
+    telemetry = Telemetry() if want_telemetry else None
+    started = time.time()
     result = solve_opp(
         instance,
-        _entrant_options(name, options),
+        options=_entrant_options(name, options),
         should_stop=should_stop,
         resume_from=resume_from,
+        telemetry=telemetry,
     )
-    return encode_result(name, result)
+    return encode_result(name, result, telemetry, started, time.time())
 
 
 def run_config_inline(
@@ -128,15 +153,24 @@ def run_config_inline(
     options: SolverOptions,
     should_stop: Optional[Callable[[], bool]] = None,
     resume: Optional[Dict[str, Any]] = None,
+    want_telemetry: bool = False,
 ) -> Dict[str, Any]:
-    """Thread/serial backends: same encoded contract, no process hop."""
+    """Thread/serial backends: same encoded contract, no process hop.
+
+    Telemetry still goes through the primitives payload rather than a shared
+    recorder: entrants run concurrently in threads and the recorders are not
+    synchronized, so each entrant gets its own and the parent merges.
+    """
     resume_from = (
         SearchCheckpoint.from_dict(resume) if resume is not None else None
     )
+    telemetry = Telemetry() if want_telemetry else None
+    started = time.time()
     result = solve_opp(
         instance,
-        _entrant_options(name, options),
+        options=_entrant_options(name, options),
         should_stop=should_stop,
         resume_from=resume_from,
+        telemetry=telemetry,
     )
-    return encode_result(name, result)
+    return encode_result(name, result, telemetry, started, time.time())

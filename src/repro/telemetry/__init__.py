@@ -1,0 +1,162 @@
+"""Solver observability: span tracing, metrics, and human-readable reports.
+
+One :class:`Telemetry` object bundles a :class:`~repro.telemetry.tracer.Tracer`
+and a :class:`~repro.telemetry.metrics.MetricsRegistry` and is threaded
+through every solve path — the facade (:func:`repro.solve`), the sequential
+solver, the optimization sweeps, the portfolio and its workers, and the CLI
+(``--trace`` / ``--metrics``)::
+
+    from repro import solve
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    result = solve(graph, problem="bmp", time_bound=14, telemetry=telemetry)
+    telemetry.write_trace("trace.jsonl")       # JSON-Lines span tree
+    print(telemetry.report())                  # human summary
+
+Passing ``telemetry=None`` (the default everywhere) resolves to the
+:data:`NO_TELEMETRY` singleton whose tracer and registry are shared no-op
+objects: the instrumented hot paths then cost one truthiness check, keeping
+the solver's telemetry-off wall clock within noise of the uninstrumented
+code.
+
+Cross-process solves (the portfolio's process/thread backends) give each
+entrant a private recording telemetry; its spans and counters are exported
+as primitives over the existing result channel and merged back into the
+parent trace, re-parented under a per-entrant span
+(:meth:`Telemetry.merge_entrant`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from .tracer import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+# Sampled branch-and-bound node events: one ``node.sample`` event per this
+# many nodes (a multiple of the search's existing 64-node poll cadence, so
+# sampling adds no extra modulo to the hot loop).
+NODE_SAMPLE_INTERVAL = 256
+
+
+class Telemetry:
+    """Tracing + metrics for one logical solve (or one CLI invocation)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer() if enabled else NULL_TRACER
+        self.metrics = MetricsRegistry() if enabled else NULL_METRICS
+
+    # -- convenience delegates --------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.tracer.event(name, **attrs)
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str):
+        return self.metrics.histogram(name)
+
+    # -- cross-boundary transport -----------------------------------------
+
+    def export_payload(self) -> Dict[str, Any]:
+        """Primitives-only export for the worker → parent result channel."""
+        return {
+            "spans": self.tracer.export(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def merge_entrant(
+        self,
+        name: str,
+        payload: Dict[str, Any],
+        started: float,
+        ended: float,
+        **attrs: Any,
+    ) -> None:
+        """Graft one portfolio entrant's exported telemetry into this trace:
+        an ``entrant`` span covering its run, the worker's spans re-parented
+        beneath it, and its counters folded into this registry."""
+        if not self.enabled:
+            return
+        span = self.tracer.span("entrant", entrant=name, **attrs)
+        span.start, span.end = started, ended
+        self.tracer.merge_spans(
+            payload.get("spans", []), parent_id=span.span_id
+        )
+        span.close()
+        self.metrics.merge(payload.get("metrics", {}))
+
+    # -- export ------------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """The trace as JSON-Lines: one line per span (sorted by start time)
+        plus one trailing ``metrics`` line."""
+        import json
+
+        yield from self.tracer.jsonl_lines()
+        yield json.dumps(
+            {
+                "type": "metrics",
+                "trace": self.tracer.trace_id,
+                **self.metrics.snapshot(),
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+    def write_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+
+    def report(self) -> str:
+        from .report import render
+
+        return render(self)
+
+
+NO_TELEMETRY = Telemetry(enabled=False)
+
+
+def coerce(telemetry: Union[None, bool, Telemetry]) -> Telemetry:
+    """Resolve a public ``telemetry=`` argument: ``None``/``False`` mean off
+    (the shared no-op singleton), ``True`` means a fresh recording instance,
+    and a :class:`Telemetry` object is used as given."""
+    if telemetry is None or telemetry is False:
+        return NO_TELEMETRY
+    if telemetry is True:
+        return Telemetry()
+    return telemetry
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NODE_SAMPLE_INTERVAL",
+    "NO_TELEMETRY",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "coerce",
+]

@@ -1,0 +1,183 @@
+"""Counters, gauges and histograms for the solver runtime.
+
+A :class:`MetricsRegistry` hands out named instruments on first use::
+
+    registry.counter("search.nodes").add(nodes)
+    registry.histogram("probe.seconds").observe(elapsed)
+    registry.gauge("search.nodes_per_sec").set(rate)
+
+Instruments are plain objects with one hot method each; when telemetry is
+off the :data:`NULL_METRICS` registry returns shared no-op instruments, so
+instrumented code pays one attribute call and nothing else.
+
+Registries snapshot to plain dicts (:meth:`MetricsRegistry.snapshot`) and
+merge additively (:meth:`MetricsRegistry.merge`), which is how counters from
+portfolio workers — serialized across the process boundary as primitives —
+fold into the parent solve's registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary (count / sum / min / max) — no sample storage, so
+    observing is O(1) and snapshots stay small no matter how many probes a
+    sweep runs."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "gauges": {k: g.value for k, g in self.gauges.items()},
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a snapshot (from a worker registry) into this one: counters
+        and histograms accumulate, gauges take the incoming value."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += data.get("count", 0)
+            histogram.total += data.get("sum", 0.0)
+            for key, better in (("min", min), ("max", max)):
+                incoming = data.get(key)
+                if incoming is None:
+                    continue
+                attr = "minimum" if key == "min" else "maximum"
+                current = getattr(histogram, attr)
+                setattr(
+                    histogram,
+                    attr,
+                    incoming if current is None else better(current, incoming),
+                )
+
+
+class _NullInstrument:
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    minimum = None
+    maximum = None
+    mean = 0.0
+
+    def add(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullRegistry:
+    enabled = False
+    counters: Dict[str, Counter] = {}
+    gauges: Dict[str, Gauge] = {}
+    histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+
+NULL_METRICS = _NullRegistry()

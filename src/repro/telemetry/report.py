@@ -1,0 +1,114 @@
+"""Human summaries of a recorded :class:`~repro.telemetry.Telemetry`.
+
+:func:`summarize` reduces the trace + metrics to a plain dict (stable keys,
+suitable for asserting in tests or shipping to a dashboard); :func:`render`
+formats that dict as the text block the CLI prints under ``--metrics``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from typing import Any, Dict
+
+
+def summarize(telemetry: Any) -> Dict[str, Any]:
+    snapshot = telemetry.metrics.snapshot()
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+
+    nodes = counters.get("search.nodes", 0)
+    search = histograms.get("search.seconds", {})
+    search_seconds = search.get("sum", 0.0) or 0.0
+    cache_hits = counters.get("cache.hits", 0)
+    cache_misses = counters.get("cache.misses", 0)
+    cache_total = cache_hits + cache_misses
+    probe = histograms.get("probe.seconds", {})
+
+    span_names = _TallyCounter(s["name"] for s in telemetry.tracer.export())
+    faults = {
+        name[len("fault."):]: value
+        for name, value in counters.items()
+        if name.startswith("fault.") and value
+    }
+    prunes = {
+        name[len("prune."):]: value
+        for name, value in counters.items()
+        if name.startswith("prune.") and value
+    }
+
+    return {
+        "nodes": nodes,
+        "conflicts": counters.get("search.conflicts", 0),
+        "leaves": counters.get("search.leaves", 0),
+        "search_seconds": search_seconds,
+        "search_slices": search.get("count", 0),
+        "nodes_per_sec": nodes / search_seconds if search_seconds > 0 else 0.0,
+        "prunes": prunes,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "cache_hit_rate": cache_hits / cache_total if cache_total else 0.0,
+        "cache_quarantined": counters.get("cache.quarantined", 0),
+        "probe_count": probe.get("count", 0),
+        "probe_seconds_total": probe.get("sum", 0.0) or 0.0,
+        "probe_seconds_mean": (
+            (probe.get("sum", 0.0) or 0.0) / probe["count"]
+            if probe.get("count")
+            else 0.0
+        ),
+        "probe_seconds_max": probe.get("max") or 0.0,
+        "resume_slices": counters.get("probe.resume_slices", 0),
+        "checkpoint_resumes": counters.get("checkpoint.resumes", 0),
+        "pool_rebuilds": counters.get("portfolio.pool_rebuilds", 0),
+        "entrant_retries": counters.get("portfolio.retries", 0),
+        "entrants": counters.get("portfolio.entrants", 0),
+        "faults": faults,
+        "spans": dict(span_names),
+    }
+
+
+def render(telemetry: Any) -> str:
+    """The ``--metrics`` text block."""
+    s = summarize(telemetry)
+    lines = [
+        "telemetry summary",
+        "-----------------",
+        f"nodes expanded:     {s['nodes']}"
+        + (
+            f"  ({s['nodes_per_sec']:.0f} nodes/sec over "
+            f"{s['search_seconds']:.3f}s of search)"
+            if s["search_seconds"] > 0
+            else ""
+        ),
+        f"search slices:      {s['search_slices']}"
+        f"  (conflicts: {s['conflicts']}, leaves: {s['leaves']})",
+        f"probes:             {s['probe_count']}"
+        f"  (wall: total {s['probe_seconds_total']:.3f}s, "
+        f"mean {s['probe_seconds_mean']:.3f}s, max {s['probe_seconds_max']:.3f}s)",
+        f"cache:              {s['cache_hits']} hits / "
+        f"{s['cache_misses']} misses"
+        f"  (hit rate {s['cache_hit_rate']:.1%}"
+        + (
+            f", quarantined {s['cache_quarantined']}"
+            if s["cache_quarantined"]
+            else ""
+        )
+        + ")",
+    ]
+    if s["prunes"]:
+        reasons = ", ".join(f"{k}: {v}" for k, v in sorted(s["prunes"].items()))
+        lines.append(f"prunes by bound:    {reasons}")
+    if s["entrants"]:
+        lines.append(
+            f"portfolio:          {s['entrants']} entrant runs"
+            f"  (pool rebuilds: {s['pool_rebuilds']}, "
+            f"retries: {s['entrant_retries']})"
+        )
+    if s["resume_slices"] or s["checkpoint_resumes"]:
+        lines.append(
+            f"checkpoint resumes: {s['checkpoint_resumes']}"
+            f"  (budget resume slices: {s['resume_slices']})"
+        )
+    if s["faults"]:
+        kinds = ", ".join(f"{k}: {v}" for k, v in sorted(s["faults"].items()))
+        lines.append(f"faults survived:    {kinds}")
+    return "\n".join(lines)

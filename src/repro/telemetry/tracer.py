@@ -1,0 +1,230 @@
+"""Span-based tracing for the solver runtime.
+
+A :class:`Tracer` records a tree of **spans** — named, wall-clock-bounded
+units of work with free-form attributes and point-in-time events.  The
+solver threads one tracer through a whole solve, producing a tree like::
+
+    solve (problem=bmp)
+    ├── probe (value=4)
+    │   ├── entrant (name=guided)
+    │   │   └── search (stage=search, nodes=812)
+    │   └── entrant (name=static)
+    │       └── search ...
+    └── probe (value=5)
+        └── search (resumed=True)
+
+Spans are cheap plain objects; the tracer is **not** thread-safe by design.
+Concurrent work (portfolio entrants racing on threads or processes) records
+into a private per-entrant tracer whose spans are exported as primitives and
+merged back into the parent trace with :meth:`Tracer.merge_spans`, which
+re-parents them under the current span — so one coherent tree survives the
+process boundary.
+
+When tracing is off the module-level :data:`NULL_TRACER` singleton absorbs
+every call with no allocation: ``span()`` returns the shared
+:data:`NULL_SPAN` context manager and ``event()`` is a pass.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One unit of traced work (use as a context manager)."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs",
+                 "events", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        if self.end is None:
+            self.end = self._tracer._clock()
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.events.append(
+            {"name": name, "t": self._tracer._clock(), "attrs": attrs}
+        )
+
+    @property
+    def seconds(self) -> float:
+        end = self.end if self.end is not None else self._tracer._clock()
+        return end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "events": list(self.events),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span: the zero-cost default when tracing is off."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    name = "null"
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def close(self) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans into one trace; see the module docstring."""
+
+    enabled = True
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._clock = time.time
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"s{self._counter}"
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, name, self._next_id(), parent, self._clock(), attrs)
+        self.spans.append(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach an event to the innermost open span (dropped when none)."""
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+
+    # -- cross-boundary merging -------------------------------------------
+
+    def merge_spans(
+        self,
+        spans: List[Dict[str, Any]],
+        parent_id: Optional[str] = None,
+    ) -> None:
+        """Graft exported spans (from a worker tracer) into this trace.
+
+        Span ids are re-allocated from this tracer's counter so merges from
+        several workers can never collide; roots of the merged forest are
+        re-parented under ``parent_id`` (or the current span).
+        """
+        if parent_id is None:
+            parent_id = self._stack[-1].span_id if self._stack else None
+        mapping = {s["id"]: self._next_id() for s in spans}
+        for data in spans:
+            span = Span(
+                self,
+                data["name"],
+                mapping[data["id"]],
+                mapping.get(data["parent"], parent_id),
+                data["start"],
+                dict(data.get("attrs", ())),
+            )
+            span.end = data.get("end")
+            span.events = list(data.get("events", ()))
+            self.spans.append(span)
+
+    # -- export ------------------------------------------------------------
+
+    def export(self) -> List[Dict[str, Any]]:
+        out = []
+        for span in self.spans:
+            data = span.to_dict()
+            data["trace"] = self.trace_id
+            out.append(data)
+        return out
+
+    def jsonl_lines(self) -> Iterator[str]:
+        for data in sorted(self.export(), key=lambda d: d["start"]):
+            yield json.dumps(data, sort_keys=True, default=str)
+
+
+class _NullTracer:
+    """Absorbs every tracing call; ``span()`` returns the shared null span."""
+
+    enabled = False
+    trace_id = ""
+    spans: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def merge_spans(self, spans: Any, parent_id: Any = None) -> None:
+        pass
+
+    def export(self) -> List[Dict[str, Any]]:
+        return []
+
+    def jsonl_lines(self) -> Iterator[str]:
+        return iter(())
+
+
+NULL_TRACER = _NullTracer()

@@ -242,3 +242,82 @@ class TestCommands:
         path = _write_instance(tmp_path, UNSAT_INSTANCE)
         assert main(["solve", path]) == EXIT_UNSAT
         assert "status: unsat" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    """--trace / --metrics are available on every subcommand."""
+
+    def test_every_subcommand_has_the_flags(self):
+        parser = build_parser()
+        cases = {
+            "table1": [], "table2": [], "fig7": [], "demo": [], "report": [],
+            "solve": ["inst.json"],
+            "bmp": ["@de", "--time", "8"],
+            "spp": ["@de", "--width", "8"],
+            "area": ["@de", "--time", "8"],
+            "pareto": ["@de"],
+            "svg": ["@de", "--width", "8", "--time", "8"],
+        }
+        for cmd, extra in cases.items():
+            args = parser.parse_args([cmd, *extra, "--trace", "t.jsonl", "--metrics"])
+            assert args.trace == "t.jsonl", cmd
+            assert args.metrics is True, cmd
+
+    def test_trace_writes_jsonl_span_tree(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["bmp", "@fir2", "--time", "3", "--trace", str(trace)]) == EXIT_OK
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        spans = [d for d in lines if d["type"] == "span"]
+        names = {d["name"] for d in spans}
+        assert {"solve", "probe"} <= names
+        solve_span = next(d for d in spans if d["name"] == "solve")
+        assert solve_span["attrs"]["problem"] == "bmp"
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["histograms"]["probe.seconds"]["count"] > 0
+
+    def test_metrics_prints_summary(self, capsys):
+        assert main(["bmp", "@fir2", "--time", "3", "--metrics"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "nodes expanded" in out
+        assert "probes:" in out
+
+    def test_solve_with_trace_and_cache(self, tmp_path, capsys):
+        path = _write_instance(tmp_path, SAT_INSTANCE)
+        trace = tmp_path / "t.jsonl"
+        store = tmp_path / "cache"
+        assert (
+            main(["solve", path, "--cache", str(store), "--trace", str(trace)])
+            == EXIT_OK
+        )
+        assert trace.exists()
+        # Second run hits the cache; the metrics line must say so.
+        trace2 = tmp_path / "t2.jsonl"
+        assert (
+            main([
+                "solve", path, "--cache", str(store),
+                "--trace", str(trace2), "--metrics",
+            ])
+            == EXIT_OK
+        )
+        out = capsys.readouterr().out
+        assert "hit rate 100.0%" in out
+        lines = [json.loads(l) for l in trace2.read_text().splitlines()]
+        assert lines[-1]["counters"].get("cache.hits") == 1
+
+    def test_failed_command_still_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(["bmp", "@de", "--time", "5", "--trace", str(trace)])
+            == EXIT_UNSAT
+        )
+        assert trace.exists()
+
+    def test_unwritable_trace_path_reports_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        assert main(["bmp", "@fir2", "--time", "3", "--trace", str(bad)]) == EXIT_INPUT
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_no_flags_no_telemetry_output(self, capsys):
+        assert main(["bmp", "@fir2", "--time", "3"]) == EXIT_OK
+        assert "telemetry summary" not in capsys.readouterr().out

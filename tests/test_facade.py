@@ -1,0 +1,253 @@
+"""The unified entry point: ``repro.solve`` round-trips for every problem of
+the paper, the common result protocol, the deprecation shims for old
+positional signatures, and the public-API snapshot pinning ``repro.__all__``.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core import Box, Container, PackingInstance, SolverOptions
+from repro.core.bmp import minimize_base
+from repro.core.opp import solve_opp
+from repro.core.pareto import pareto_front
+from repro.core.spp import minimize_makespan
+from repro.graphs import DiGraph
+
+
+def boxes_of(widths):
+    return [Box(w, name=f"b{i}") for i, w in enumerate(widths)]
+
+
+def two_squares():
+    """Two 2x2 modules of duration 1, the second depending on the first."""
+    return boxes_of([(2, 2, 1), (2, 2, 1)]), DiGraph(2, [(0, 1)])
+
+
+PROTOCOL_ATTRS = ("status", "value", "stats", "faults", "trace")
+
+
+def assert_protocol(result):
+    for attr in PROTOCOL_ATTRS:
+        assert hasattr(result, attr), f"result lacks .{attr}"
+    assert isinstance(result.status, str)
+    assert isinstance(result.faults, list)
+
+
+class TestFacadeRoundTrips:
+    """All six problems of the paper through one entry point."""
+
+    def test_opp_feasat_finds(self):
+        boxes, dag = two_squares()
+        instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+        result = repro.solve(instance, problem="opp")
+        assert result.status == "sat"
+        assert result.value is None
+        assert_protocol(result)
+
+    def test_opp_from_boxes_needs_container(self):
+        boxes, dag = two_squares()
+        result = repro.solve((boxes, dag), problem="opp", chip=(2, 2), time_bound=2)
+        assert result.status == "sat"
+
+    def test_bmp_mina_finds(self):
+        boxes, dag = two_squares()
+        result = repro.solve((boxes, dag), problem="bmp", time_bound=2)
+        assert (result.status, result.value) == ("optimal", 2)
+        assert result.stats["probes"] > 0
+        assert_protocol(result)
+        direct = minimize_base(boxes, dag, time_bound=2)
+        assert direct.optimum == result.value
+
+    def test_spp_mint_finds(self):
+        boxes, dag = two_squares()
+        result = repro.solve((boxes, dag), problem="spp", chip=(2, 2))
+        assert (result.status, result.value) == ("optimal", 2)
+        assert_protocol(result)
+        direct = minimize_makespan(boxes, dag, chip=(2, 2))
+        assert direct.optimum == result.value
+
+    def test_area_free_aspect(self):
+        boxes, dag = two_squares()
+        result = repro.solve((boxes, dag), problem="area", time_bound=2)
+        assert (result.status, result.value) == ("optimal", 4)
+        assert_protocol(result)
+
+    def test_pareto_front(self):
+        boxes, dag = two_squares()
+        result = repro.solve((boxes, dag), problem="pareto")
+        assert result.status == "optimal"
+        # Precedence forces the modules to run one after the other, so
+        # latency 1 is infeasible and the whole front is the 2x2 chip.
+        assert result.value == [(2, 2)]
+        assert_protocol(result)
+        # Dropping the dependencies exposes the (latency 1, side 4) corner.
+        free = repro.solve((boxes, None), problem="pareto")
+        assert (1, 4) in free.value and (2, 2) in free.value
+
+    def test_fixed_feasible_feasa_fixeds(self):
+        boxes, dag = two_squares()
+        result = repro.solve(
+            (boxes, dag), problem="fixed_feasible", starts=[0, 1], chip=(2, 2)
+        )
+        assert result.status == "sat"
+        assert_protocol(result)
+
+    def test_fixed_area_mina_fixeds(self):
+        boxes, dag = two_squares()
+        result = repro.solve((boxes, dag), problem="fixed_area", starts=[0, 1])
+        assert (result.status, result.value) == ("optimal", 2)
+        assert_protocol(result)
+
+    def test_task_graph_instance(self):
+        from repro.fpga import ModuleType, TaskGraph
+
+        mul = ModuleType("MUL", width=2, height=2, duration=1)
+        graph = TaskGraph("demo")
+        a = graph.add_task("a", mul)
+        b = graph.add_task("b", mul)
+        graph.add_dependency(a, b)
+        result = repro.solve(graph, problem="bmp", time_bound=2)
+        assert (result.status, result.value) == ("optimal", 2)
+
+    def test_bare_box_list(self):
+        result = repro.solve(
+            boxes_of([(1, 1, 1)]), problem="bmp", time_bound=1
+        )
+        assert (result.status, result.value) == ("optimal", 1)
+
+    def test_portfolio_workers(self):
+        boxes, dag = two_squares()
+        instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+        result = repro.solve(
+            instance, problem="opp", workers=2, backend="thread"
+        )
+        assert result.status == "sat"
+        assert_protocol(result)
+
+    def test_telemetry_true_attaches_trace(self):
+        boxes, dag = two_squares()
+        result = repro.solve(
+            (boxes, dag), problem="bmp", time_bound=2, telemetry=True
+        )
+        assert result.trace is not None
+        assert result.trace.enabled
+        assert "probe" in {s.name for s in result.trace.tracer.spans}
+
+
+class TestProblemNames:
+    def test_paper_aliases(self):
+        boxes, dag = two_squares()
+        for alias, expected in [
+            ("FeasAT", "sat"),
+            ("MinA", "optimal"),
+            ("base", "optimal"),
+            ("makespan", "optimal"),
+            ("tradeoffs", "optimal"),
+        ]:
+            kwargs = {}
+            if expected == "sat":
+                instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+            else:
+                instance = (boxes, dag)
+                if alias in ("MinA", "base"):
+                    kwargs["time_bound"] = 2
+                if alias == "makespan":
+                    kwargs["chip"] = (2, 2)
+            result = repro.solve(instance, problem=alias, **kwargs)
+            assert result.status == expected, alias
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            repro.solve(boxes_of([(1, 1, 1)]), problem="tsp")
+
+    def test_bad_instance_rejected(self):
+        with pytest.raises(TypeError, match="instance must be"):
+            repro.solve(42, problem="bmp", time_bound=1)
+
+    def test_spp_without_chip_rejected(self):
+        with pytest.raises(ValueError, match="chip"):
+            repro.solve(boxes_of([(1, 1, 1)]), problem="spp")
+
+    def test_fixed_without_starts_rejected(self):
+        with pytest.raises(ValueError, match="starts"):
+            repro.solve(boxes_of([(1, 1, 1)]), problem="fixed_area")
+
+
+class TestDeprecationShims:
+    """Old positional call sites keep working — loudly."""
+
+    def test_solve_opp_positional_options(self):
+        instance = PackingInstance(boxes_of([(1, 1, 1)]), Container((1, 1, 1)))
+        with pytest.warns(DeprecationWarning, match="options"):
+            result = solve_opp(instance, SolverOptions())
+        assert result.status == "sat"
+
+    def test_minimize_base_positional_time_bound(self):
+        boxes, dag = two_squares()
+        with pytest.warns(DeprecationWarning, match="time_bound"):
+            result = minimize_base(boxes, dag, 2)
+        assert (result.status, result.optimum) == ("optimal", 2)
+
+    def test_pareto_positional_max_time(self):
+        boxes, dag = two_squares()
+        with pytest.warns(DeprecationWarning, match="max_time"):
+            front = pareto_front(boxes, dag, 2)
+        assert front.status == "optimal"
+
+    def test_keyword_calls_do_not_warn(self):
+        boxes, dag = two_squares()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            minimize_base(boxes, dag, time_bound=2)
+
+    def test_too_many_positionals_is_a_type_error(self):
+        instance = PackingInstance(boxes_of([(1, 1, 1)]), Container((1, 1, 1)))
+        with pytest.raises(TypeError, match="positional"):
+            solve_opp(instance, None, None, None, None, None, None)
+
+    def test_positional_keyword_collision_is_a_type_error(self):
+        boxes, dag = two_squares()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                minimize_base(boxes, dag, 2, time_bound=2)
+
+
+class TestPublicApiSnapshot:
+    def test_all_snapshot(self):
+        assert repro.__all__ == [
+            "solve",
+            "PROBLEMS",
+            "SolverOptions",
+            "OPPResult",
+            "ResultCache",
+            "PortfolioSolver",
+            "Telemetry",
+            "api",
+            "baselines",
+            "core",
+            "fpga",
+            "graphs",
+            "heuristics",
+            "instances",
+            "io",
+            "parallel",
+            "telemetry",
+            "__version__",
+        ]
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_problems_snapshot(self):
+        assert repro.PROBLEMS == (
+            "opp",
+            "bmp",
+            "spp",
+            "area",
+            "pareto",
+            "fixed_feasible",
+            "fixed_area",
+        )

@@ -1,0 +1,216 @@
+"""The telemetry subsystem: tracer/metrics units, the instrumented solve
+paths (span tree + metrics on a real BMP solve, JSONL export), cross-process
+entrant merging, and the telemetry-off no-op guarantees."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core import Box, Container, PackingInstance, SolverOptions
+from repro.core.bmp import minimize_base
+from repro.core.opp import solve_opp
+from repro.parallel import ResultCache
+from repro.telemetry import (
+    NO_TELEMETRY,
+    NULL_METRICS,
+    NULL_SPAN,
+    NULL_TRACER,
+    Telemetry,
+    coerce,
+)
+from repro.telemetry.report import render, summarize
+
+
+def boxes_of(widths):
+    return [Box(w, name=f"b{i}") for i, w in enumerate(widths)]
+
+
+# Small but non-trivial: bounds do not refute it and the greedy heuristic
+# fails, so solve_opp must enter branch-and-bound (searched spans + node
+# counters are guaranteed to appear).
+SEARCH_OPTIONS = SolverOptions(use_bounds=False, use_heuristics=False)
+
+
+def search_instance():
+    return PackingInstance(
+        boxes_of([(2, 2, 1), (2, 2, 1), (1, 1, 2)]),
+        Container((3, 2, 2)),
+    )
+
+
+class TestTracer:
+    def test_span_nesting_records_parents(self):
+        telemetry = Telemetry()
+        with telemetry.span("solve", problem="bmp") as outer:
+            with telemetry.span("probe", value=4) as inner:
+                telemetry.event("prune", bound="b")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.events[0]["name"] == "prune"
+        assert inner.end is not None and outer.end >= inner.end
+
+    def test_jsonl_lines_parse_and_end_with_metrics(self):
+        telemetry = Telemetry()
+        with telemetry.span("solve"):
+            telemetry.counter("search.nodes").add(5)
+        lines = [json.loads(line) for line in telemetry.jsonl_lines()]
+        assert [d["type"] for d in lines] == ["span", "metrics"]
+        assert lines[1]["counters"] == {"search.nodes": 5}
+
+    def test_merge_spans_reparents_and_reallocates_ids(self):
+        parent = Telemetry()
+        child = Telemetry()
+        with child.span("search", nodes=7):
+            child.counter("search.nodes").add(7)
+        payload = child.export_payload()
+        parent.merge_entrant("guided", payload, 1.0, 2.0, status="sat")
+        spans = {s.name: s for s in parent.tracer.spans}
+        assert spans["entrant"].attrs["entrant"] == "guided"
+        assert spans["entrant"].start == 1.0 and spans["entrant"].end == 2.0
+        assert spans["search"].parent_id == spans["entrant"].span_id
+        assert spans["search"].span_id != child.tracer.spans[0].span_id
+        assert parent.counter("search.nodes").value == 7
+
+    def test_merge_histograms_accumulate(self):
+        parent, child = Telemetry(), Telemetry()
+        parent.histogram("probe.seconds").observe(1.0)
+        child.histogram("probe.seconds").observe(3.0)
+        parent.metrics.merge(child.metrics.snapshot())
+        merged = parent.histogram("probe.seconds")
+        assert merged.count == 2
+        assert merged.minimum == 1.0 and merged.maximum == 3.0
+
+
+class TestNoOpDefaults:
+    def test_coerce(self):
+        assert coerce(None) is NO_TELEMETRY
+        assert coerce(False) is NO_TELEMETRY
+        assert coerce(True).enabled
+        t = Telemetry()
+        assert coerce(t) is t
+
+    def test_disabled_telemetry_uses_shared_singletons(self):
+        assert not NO_TELEMETRY.enabled
+        assert NO_TELEMETRY.tracer is NULL_TRACER
+        assert NO_TELEMETRY.metrics is NULL_METRICS
+        assert NO_TELEMETRY.span("anything") is NULL_SPAN
+        NO_TELEMETRY.counter("x").add(5)
+        assert NO_TELEMETRY.metrics.snapshot()["counters"] == {}
+
+    def test_solve_without_telemetry_has_no_trace(self):
+        result = solve_opp(search_instance(), options=SEARCH_OPTIONS)
+        assert result.status == "sat"
+        assert result.trace is None
+
+
+class TestInstrumentedSolves:
+    def test_opp_search_records_nodes_and_span(self):
+        telemetry = Telemetry()
+        result = solve_opp(
+            search_instance(), options=SEARCH_OPTIONS, telemetry=telemetry
+        )
+        assert result.status == "sat"
+        assert result.trace is telemetry
+        names = [s.name for s in telemetry.tracer.spans]
+        assert "search" in names
+        assert telemetry.counter("search.nodes").value > 0
+        assert telemetry.histogram("search.seconds").count == 1
+
+    def test_bmp_solve_span_tree_and_metrics(self, tmp_path):
+        """The acceptance-criteria trace: a BMP solve whose JSONL trace has a
+        solve → probe → search tree and whose metrics report nodes expanded,
+        cache hit rate, and per-probe wall time."""
+        telemetry = Telemetry()
+        cache = ResultCache().instrument(telemetry)
+        result = minimize_base(
+            boxes_of([(2, 2, 1), (2, 2, 1)]),
+            time_bound=1,
+            options=SEARCH_OPTIONS,
+            cache=cache,
+            telemetry=telemetry,
+        )
+        assert (result.status, result.optimum) == ("optimal", 4)
+        assert result.trace is telemetry
+
+        path = tmp_path / "trace.jsonl"
+        telemetry.write_trace(str(path))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        spans = {d["id"]: d for d in lines if d["type"] == "span"}
+        by_name = {}
+        for span in spans.values():
+            by_name.setdefault(span["name"], []).append(span)
+
+        solve_span = by_name["solve"][0]
+        assert solve_span["attrs"]["problem"] == "bmp"
+        assert solve_span["parent"] is None
+        for probe in by_name["probe"]:
+            assert probe["parent"] == solve_span["id"]
+        assert by_name["search"], "no search spans in the trace"
+        for search in by_name["search"]:
+            assert spans[search["parent"]]["name"] == "probe"
+
+        metrics = [d for d in lines if d["type"] == "metrics"]
+        assert len(metrics) == 1
+        counters = metrics[0]["counters"]
+        histograms = metrics[0]["histograms"]
+        assert counters["search.nodes"] > 0
+        assert "cache.misses" in counters
+        assert histograms["probe.seconds"]["count"] == len(result.probes)
+
+        summary = summarize(telemetry)
+        assert summary["nodes"] == counters["search.nodes"]
+        assert summary["probe_count"] == len(result.probes)
+        assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+
+    def test_cache_hits_are_counted(self):
+        telemetry = Telemetry()
+        cache = ResultCache().instrument(telemetry)
+        instance = search_instance()
+        solve_opp(
+            instance, options=SEARCH_OPTIONS, cache=cache, telemetry=telemetry
+        )
+        hit = solve_opp(
+            instance, options=SEARCH_OPTIONS, cache=cache, telemetry=telemetry
+        )
+        assert hit.stage == "cache"
+        assert telemetry.counter("cache.hits").value == 1
+        assert telemetry.counter("cache.misses").value == 1
+        assert telemetry.counter("cache.stores").value >= 1
+        assert summarize(telemetry)["cache_hit_rate"] == 0.5
+
+    def test_prune_counters_name_the_bound(self):
+        telemetry = Telemetry()
+        # One 3x3x3 box can never fit a 2x2x2 container: bounds refute it.
+        result = solve_opp(
+            PackingInstance(boxes_of([(3, 3, 3)]), Container((2, 2, 2))),
+            telemetry=telemetry,
+        )
+        assert result.status == "unsat"
+        prunes = summarize(telemetry)["prunes"]
+        assert prunes and all(count > 0 for count in prunes.values())
+
+    def test_portfolio_entrants_merge_into_parent_trace(self):
+        telemetry = Telemetry()
+        result = repro.solve(
+            search_instance(),
+            problem="opp",
+            workers=2,
+            backend="thread",
+            telemetry=telemetry,
+        )
+        assert result.status == "sat"
+        names = [s.name for s in telemetry.tracer.spans]
+        assert "entrant" in names
+        assert summarize(telemetry)["entrants"] > 0
+
+    def test_report_renders(self):
+        telemetry = Telemetry()
+        minimize_base(
+            boxes_of([(2, 2, 1)]), time_bound=1, telemetry=telemetry
+        )
+        text = render(telemetry)
+        assert "telemetry summary" in text
+        assert "nodes expanded" in text
+        assert "probes:" in text
+        assert "cache:" in text
