@@ -279,7 +279,10 @@ def _load_graph(spec: str):
 
 def _solver_options(args: argparse.Namespace) -> SolverOptions:
     try:
-        return SolverOptions(time_limit=args.time_limit)
+        return SolverOptions(
+            time_limit=args.time_limit,
+            kernel=getattr(args, "kernel", "bitmask"),
+        )
     except ValueError as exc:
         raise _InputError(str(exc)) from exc
 
@@ -478,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-limit", type=float, default=None, help="seconds before giving up"
     )
     solve.add_argument(
+        "--kernel", choices=("bitmask", "reference"), default="bitmask",
+        help="search kernel: word-parallel bitsets (default) or the "
+        "object-per-edge reference oracle (see docs/performance.md)",
+    )
+    solve.add_argument(
         "--workers", type=int, default=None,
         help="race a portfolio of solver configurations on N workers",
     )
@@ -500,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--time-limit", type=float, default=None,
             help="per-OPP seconds before giving up",
+        )
+        cmd.add_argument(
+            "--kernel", choices=("bitmask", "reference"), default="bitmask",
+            help="search kernel: word-parallel bitsets (default) or the "
+            "object-per-edge reference oracle (see docs/performance.md)",
         )
         if optimizer:
             cmd.add_argument(

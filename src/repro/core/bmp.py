@@ -135,6 +135,13 @@ class _ProbeRunner:
         while True:
             opp = self._solve_once(instance, remaining, resume_from)
             opp.stats.nodes += carried_nodes
+            if carried_nodes and opp.checkpoint is not None:
+                # Keep the ``checkpoint.nodes == stats.nodes`` invariant of
+                # single-slice results across carried slices, so the node
+                # counters never drift apart on a resumed-then-interrupted
+                # probe (the node-accounting tests reconcile all three:
+                # SearchStats, the checkpoint, and the telemetry counter).
+                opp.checkpoint.nodes = opp.stats.nodes
             if self.budget is None or opp.status in ("sat", "unsat"):
                 return opp
             checkpoint = opp.checkpoint

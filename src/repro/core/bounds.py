@@ -333,20 +333,32 @@ ALL_BOUNDS = [
     dff_volume_bound,
 ]
 
+#: Stable names of the stage-1 bounds, in evaluation order — the valid
+#: entries for ``SolverOptions.disabled_bounds`` and the ``disabled=``
+#: parameter below.
+BOUND_NAMES = tuple(bound.__name__ for bound in ALL_BOUNDS)
 
-def prove_infeasible(instance: PackingInstance) -> Optional[str]:
+
+def prove_infeasible(
+    instance: PackingInstance, disabled: tuple = ()
+) -> Optional[str]:
     """Run all bounds; return the first infeasibility certificate, if any."""
-    named = prove_infeasible_named(instance)
+    named = prove_infeasible_named(instance, disabled=disabled)
     return named[1] if named is not None else None
 
 
 def prove_infeasible_named(
     instance: PackingInstance,
+    disabled: tuple = (),
 ) -> Optional[tuple]:
     """Like :func:`prove_infeasible`, but returns ``(bound_name,
     certificate)`` so callers (telemetry) can attribute the prune to the
-    bound that proved it."""
+    bound that proved it.  ``disabled`` names bounds to skip (ablation /
+    mutation testing); since bounds only ever *prove* infeasibility,
+    skipping one can delay an UNSAT proof but never change an answer."""
     for bound in ALL_BOUNDS:
+        if bound.__name__ in disabled:
+            continue
         certificate = bound(instance)
         if certificate is not None:
             return bound.__name__, certificate

@@ -82,6 +82,10 @@ class PropagationStats:
     forced_states: int = 0
     forced_arcs: int = 0
     c2_clique_checks: int = 0
+    # Nodes the search drove this model through — the kernel-side counter
+    # that the node-accounting tests reconcile against ``SearchStats.nodes``
+    # and the ``search.nodes`` telemetry counter.
+    nodes_entered: int = 0
 
 
 class EdgeStateModel:
@@ -90,7 +94,14 @@ class EdgeStateModel:
     All mutations go through :meth:`assign_state` / :meth:`assign_arc`, are
     recorded on a trail, and trigger propagation.  :meth:`mark` /
     :meth:`rollback` implement chronological backtracking.
+
+    This is the *reference* kernel: a direct, object-per-edge transcription
+    of the paper's rules, retained as the testing oracle.  The default
+    production kernel (:class:`repro.core.bitmask.BitmaskEdgeStateModel`)
+    computes the exact same propagation fixpoints on packed bitsets.
     """
+
+    kernel_name = "reference"
 
     def __init__(
         self,

@@ -115,6 +115,7 @@ def feasible_placement_fixed_schedule(
             pre_states=states,
             pre_arcs=arcs,
             telemetry=telemetry if telemetry.enabled else None,
+            kernel=options.kernel,
         )
         status, placement = solver.solve()
         span.set(status=status, nodes=solver.stats.nodes)

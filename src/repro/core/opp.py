@@ -23,8 +23,9 @@ from typing import Callable, List, Optional
 
 from .._compat import keyword_only
 from ..telemetry import coerce as _coerce_telemetry
+from .bitmask import KERNELS
 from .boxes import PackingInstance, Placement
-from .bounds import prove_infeasible_named
+from .bounds import BOUND_NAMES, prove_infeasible_named
 from .edgestate import PropagationOptions
 from .search import (
     BranchAndBound,
@@ -47,6 +48,15 @@ class SolverOptions:
     ``fault_plan`` is a :class:`repro.parallel.faults.FaultPlan` whose seeded
     injection points fire during the solve (chaos testing only); when it is
     ``None`` the ``REPRO_FAULT_PLAN`` environment variable is consulted.
+
+    ``kernel`` selects the propagation engine for the search stage:
+    ``"bitmask"`` (default, word-parallel bitsets) or ``"reference"`` (the
+    object-per-edge oracle).  Both kernels explore the identical tree and
+    return identical answers; see :mod:`repro.core.bitmask`.
+
+    ``disabled_bounds`` names stage-1 bounds to skip (by function name, see
+    :data:`repro.core.bounds.BOUND_NAMES`) — an ablation knob; disabling
+    bounds never changes answers, only how early infeasibility is proven.
     """
 
     use_bounds: bool = True
@@ -58,6 +68,8 @@ class SolverOptions:
     node_limit: Optional[int] = None
     time_limit: Optional[float] = None
     fault_plan: Optional[object] = None
+    kernel: str = "bitmask"
+    disabled_bounds: tuple = ()
 
     def __post_init__(self) -> None:
         if self.time_limit is not None and self.time_limit < 0:
@@ -67,6 +79,16 @@ class SolverOptions:
         if self.node_limit is not None and self.node_limit < 0:
             raise ValueError(
                 f"node_limit must be non-negative, got {self.node_limit}"
+            )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        self.disabled_bounds = tuple(self.disabled_bounds)
+        unknown = [n for n in self.disabled_bounds if n not in BOUND_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown bound name(s) {unknown}; expected from {BOUND_NAMES}"
             )
 
 
@@ -198,7 +220,9 @@ def solve_opp(
         return result
 
     if options.use_bounds and resume_from is None:
-        named = prove_infeasible_named(instance)
+        named = prove_infeasible_named(
+            instance, disabled=options.disabled_bounds
+        )
         if named is not None:
             bound_name, certificate = named
             if telemetry.enabled:
@@ -239,6 +263,7 @@ def solve_opp(
             resume_from=resume_from,
             fault_plan=_active_fault_plan(options),
             telemetry=telemetry if telemetry.enabled else None,
+            kernel=options.kernel,
         )
         status, placement = solver.solve()
         span.set(

@@ -62,6 +62,20 @@ class PackingClass:
         necessity direction)."""
         return cls(placement.instance, component_graphs_of_placement(placement))
 
+    @classmethod
+    def from_edge_model(cls, model) -> "PackingClass":
+        """Project a completed search model (either kernel — the reference
+        :class:`~repro.core.edgestate.EdgeStateModel` or the bitmask engine)
+        to its packing class.  The model must be fully decided; undecided
+        pairs would silently read as non-edges."""
+        if not model.is_complete():
+            raise ValueError("edge-state model is not fully decided")
+        graphs = [
+            model.component_graph(axis)
+            for axis in range(model.instance.dimensions)
+        ]
+        return cls(model.instance, graphs)
+
     # -- the three conditions -------------------------------------------------
 
     def check_conditions(self) -> ConditionReport:

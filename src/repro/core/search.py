@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..graphs.chordal import is_chordal
 from ..telemetry import NODE_SAMPLE_INTERVAL, NO_TELEMETRY
 from .boxes import PackingInstance, Placement
+from .bitmask import KERNELS, make_model
 from .edgestate import (
     COMPARABILITY,
     COMPONENT,
@@ -228,6 +229,7 @@ class BranchAndBound:
         resume_from: Optional[SearchCheckpoint] = None,
         fault_plan: Optional[Any] = None,
         telemetry: Optional[Any] = None,
+        kernel: str = "bitmask",
     ) -> None:
         """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
         the search starts — the FixedS problems fix the entire time axis this
@@ -249,16 +251,27 @@ class BranchAndBound:
 
         ``telemetry`` (a :class:`repro.telemetry.Telemetry`) receives the
         search counters and sampled per-node events; the default no-op
-        instance keeps the hot loop free of telemetry cost."""
+        instance keeps the hot loop free of telemetry cost.
+
+        ``kernel`` selects the propagation engine: ``"bitmask"`` (default,
+        :class:`repro.core.bitmask.BitmaskEdgeStateModel`) or
+        ``"reference"`` (the oracle).  Both explore the identical tree, so
+        the choice is deliberately *not* part of the checkpoint
+        fingerprint — checkpoints are portable across kernels."""
         self.instance = instance
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
+        self.kernel = kernel
         if pre_states or pre_arcs:
             from dataclasses import replace
 
             propagation = replace(
                 propagation or PropagationOptions(), symmetry_breaking=False
             )
-        self.model = EdgeStateModel(instance, propagation)
+        self.model = make_model(instance, propagation, kernel)
         self.pre_states = list(pre_states or [])
         self.pre_arcs = list(pre_arcs or [])
         self.branching = branching or BranchingOptions()
@@ -414,6 +427,7 @@ class BranchAndBound:
         self, replay: Optional[List[Tuple[int, int, int, int]]] = None
     ) -> Optional[Placement]:
         self.stats.nodes += 1
+        self.model.stats.nodes_entered += 1
         if self.node_limit is not None and self.stats.nodes > self.node_limit:
             raise LimitReached("node limit")
         if self.fault_plan is not None:

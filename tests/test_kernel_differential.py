@@ -1,0 +1,345 @@
+"""Differential equivalence suite: bitmask kernel vs the reference oracle.
+
+The bitmask kernel (``repro.core.bitmask``) is a word-parallel rewrite of
+the reference edge-state engine and is required to be *semantically
+identical* to it: same SAT/UNSAT answers, same optima, and — because the
+propagation rules reach the same fixpoints and the branch heuristics read
+the same state — the same search tree node for node.  This suite hammers
+that claim with several hundred seeded random instances:
+
+* mixed instances with and without precedence constraints,
+* rotation-aware solves (``solve_opp_with_rotation``),
+* the BMP/SPP optimization drivers (optima must agree),
+* node-count equality with symmetry breaking disabled *and* enabled,
+* chaos runs under a ``REPRO_FAULT_PLAN`` injection (both kernels must
+  fault at the same node with the same recorded limit).
+
+Instances are deliberately small (n <= 8) so the whole file stays in the
+tier-1 budget while still exercising every propagation rule.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import (
+    BranchAndBound,
+    PropagationOptions,
+    SolverOptions,
+    solve_opp,
+)
+from repro.core.bmp import minimize_base
+from repro.core.rotation import solve_opp_with_rotation
+from repro.core.spp import minimize_makespan
+from repro.instances.random_instances import (
+    differential_instances,
+    random_feasible_instance,
+    random_instance,
+)
+
+SEARCH_ONLY = dict(use_bounds=False, use_heuristics=False, use_annealing=False)
+
+
+def _options(kernel, **overrides):
+    base = dict(SEARCH_ONLY)
+    base.update(overrides)
+    return SolverOptions(kernel=kernel, **base)
+
+
+def _signature(result):
+    """The facts both kernels must agree on for one OPP solve."""
+    return (result.status, result.stats.nodes, result.stats.leaves)
+
+
+def _assert_same_solve(instance, **overrides):
+    fast = solve_opp(instance, options=_options("bitmask", **overrides))
+    slow = solve_opp(instance, options=_options("reference", **overrides))
+    assert _signature(fast) == _signature(slow), (
+        f"kernel divergence on {instance.boxes} in "
+        f"{instance.container.sizes}: bitmask={_signature(fast)} "
+        f"reference={_signature(slow)}"
+    )
+    return fast, slow
+
+
+class TestOPPDifferential:
+    """Raw decision-problem agreement over large seeded instance pools."""
+
+    @pytest.mark.parametrize("seed", [101, 202, 303, 404])
+    def test_mixed_instances_agree(self, seed):
+        # 4 x 50 = 200 instances from the mixed generator (precedence
+        # density and container shape both vary with the seed).
+        for inst in differential_instances(seed, 50):
+            _assert_same_solve(inst, node_limit=3000)
+
+    @pytest.mark.parametrize("density", [0.0, 0.5])
+    def test_precedence_free_and_heavy_agree(self, density):
+        # 2 x 30 = 60 instances pinning the precedence dimension to the
+        # extremes: none at all, and half of all pairs constrained.
+        rng = random.Random(7000 + int(density * 10))
+        for _ in range(30):
+            inst = random_instance(
+                rng,
+                container=(4, 4, 5),
+                num_boxes=6,
+                max_width=3,
+                precedence_density=density,
+            )
+            _assert_same_solve(inst, node_limit=3000)
+
+    def test_harder_instances_agree(self):
+        # 20 larger instances so non-trivial search trees (dozens to
+        # hundreds of nodes) are compared, not just root refutations.
+        rng = random.Random(42)
+        for _ in range(20):
+            inst = random_instance(
+                rng,
+                container=(5, 5, 5),
+                num_boxes=7,
+                max_width=4,
+                precedence_density=0.3,
+            )
+            _assert_same_solve(inst, node_limit=3000)
+
+    def test_feasible_instances_are_sat_under_both(self):
+        # 25 instances built around a known placement: both kernels must
+        # answer SAT (a divergent UNSAT here is a soundness bug, not just
+        # a mismatch).
+        rng = random.Random(9)
+        for _ in range(25):
+            inst, _placement = random_feasible_instance(
+                rng, container=(5, 5, 5), num_boxes=5, precedence_density=0.3
+            )
+            fast, slow = _assert_same_solve(inst, node_limit=20000)
+            assert fast.status == "sat"
+            assert slow.status == "sat"
+
+    def test_full_pipeline_agrees(self):
+        # 30 instances through the full three-stage pipeline (bounds and
+        # heuristics enabled) — exercises the stage dispatch, not just
+        # the raw search.
+        rng = random.Random(77)
+        for _ in range(30):
+            inst = random_instance(
+                rng, container=(4, 4, 4), num_boxes=6, max_width=3,
+                precedence_density=0.2,
+            )
+            fast = solve_opp(
+                inst, options=SolverOptions(kernel="bitmask", node_limit=3000)
+            )
+            slow = solve_opp(
+                inst, options=SolverOptions(kernel="reference", node_limit=3000)
+            )
+            assert _signature(fast) == _signature(slow)
+            assert fast.stage == slow.stage
+
+
+class TestNodeCountEquality:
+    """The satellite requirement: node-for-node identical trees."""
+
+    def test_nodes_equal_with_symmetry_breaking_disabled(self):
+        rng = random.Random(1234)
+        propagation = PropagationOptions(symmetry_breaking=False)
+        for _ in range(25):
+            inst = random_instance(
+                rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+                precedence_density=0.25,
+            )
+            _assert_same_solve(inst, node_limit=3000, propagation=propagation)
+
+    def test_nodes_equal_with_symmetry_breaking_enabled(self):
+        # Stronger than required: the bitmask kernel reproduces the
+        # reference tree even with the interchangeability cuts active,
+        # because both kernels apply the identical canonical ordering.
+        rng = random.Random(4321)
+        propagation = PropagationOptions(symmetry_breaking=True)
+        for _ in range(25):
+            inst = random_instance(
+                rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+                precedence_density=0.25,
+            )
+            _assert_same_solve(inst, node_limit=3000, propagation=propagation)
+
+    @pytest.mark.parametrize(
+        "ablation",
+        [
+            {"check_c4": False},
+            {"check_c2": False},
+            {"check_c5": False},
+            {"check_area": False},
+            {"implications": False},
+        ],
+        ids=lambda a: "no_" + next(iter(a)),
+    )
+    def test_nodes_equal_under_rule_ablations(self, ablation):
+        # 5 x 10 = 50 solves: each propagation rule individually disabled
+        # must still give identical trees (the kernels mirror each other
+        # rule by rule, not just at full strength).
+        rng = random.Random(sum(map(ord, next(iter(ablation)))))
+        propagation = PropagationOptions(**ablation)
+        for _ in range(10):
+            inst = random_instance(
+                rng, container=(4, 4, 4), num_boxes=6, max_width=3,
+                precedence_density=0.2,
+            )
+            _assert_same_solve(inst, node_limit=3000, propagation=propagation)
+
+    def test_kernel_internal_counter_matches_search_stats(self):
+        rng = random.Random(5150)
+        for _ in range(10):
+            inst = random_instance(
+                rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+                precedence_density=0.3,
+            )
+            for kernel in ("bitmask", "reference"):
+                solver = BranchAndBound(inst, node_limit=3000, kernel=kernel)
+                solver.solve()
+                assert solver.model.stats.nodes_entered == solver.stats.nodes
+
+
+class TestOptimizationDifferential:
+    """BMP and SPP optima must agree between kernels."""
+
+    def test_bmp_optima_agree(self):
+        rng = random.Random(2024)
+        for _ in range(12):
+            inst = random_instance(
+                rng, container=(4, 4, 3), num_boxes=5, max_width=3,
+                precedence_density=0.3,
+            )
+            results = {}
+            for kernel in ("bitmask", "reference"):
+                results[kernel] = minimize_base(
+                    inst.boxes,
+                    inst.precedence,
+                    time_bound=inst.container.sizes[inst.time_axis],
+                    options=SolverOptions(kernel=kernel, node_limit=20000),
+                    max_side=8,
+                )
+            fast, slow = results["bitmask"], results["reference"]
+            assert fast.status == slow.status
+            assert fast.optimum == slow.optimum
+
+    def test_spp_optima_agree(self):
+        rng = random.Random(2025)
+        for _ in range(12):
+            inst = random_instance(
+                rng, container=(4, 4, 4), num_boxes=5, max_width=3,
+                precedence_density=0.4,
+            )
+            results = {}
+            for kernel in ("bitmask", "reference"):
+                results[kernel] = minimize_makespan(
+                    inst.boxes,
+                    inst.precedence,
+                    chip=(inst.container.sizes[0], inst.container.sizes[1]),
+                    options=SolverOptions(kernel=kernel, node_limit=20000),
+                )
+            fast, slow = results["bitmask"], results["reference"]
+            assert fast.status == slow.status
+            assert fast.optimum == slow.optimum
+
+    def test_rotation_solves_agree(self):
+        rng = random.Random(808)
+        for _ in range(15):
+            inst = random_instance(
+                rng, container=(4, 4, 4), num_boxes=5, max_width=3,
+                precedence_density=0.2,
+            )
+            results = {}
+            for kernel in ("bitmask", "reference"):
+                results[kernel] = solve_opp_with_rotation(
+                    inst, options=SolverOptions(kernel=kernel, node_limit=3000)
+                )
+            fast, slow = results["bitmask"], results["reference"]
+            assert fast.status == slow.status
+            assert fast.assignments_tried == slow.assignments_tried
+            if fast.placement is not None:
+                assert slow.placement is not None
+
+
+class TestChaosDifferential:
+    """Fault injection must hit both kernels at the same point."""
+
+    def _chaos_instance(self):
+        # A seed known to produce a tree deeper than the injection point
+        # under search-only options (asserted below, so a generator change
+        # fails loudly rather than silently weakening the test).
+        rng = random.Random(42)
+        insts = [
+            random_instance(
+                rng, container=(5, 5, 5), num_boxes=7, max_width=4,
+                precedence_density=0.3,
+            )
+            for _ in range(7)
+        ]
+        return insts[-1]
+
+    def test_injected_raise_hits_same_node(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", json.dumps({"raise_at_node": 10}))
+        inst = self._chaos_instance()
+        fast = solve_opp(inst, options=_options("bitmask"))
+        slow = solve_opp(inst, options=_options("reference"))
+        for result in (fast, slow):
+            assert result.status == "unknown"
+            assert result.stats.limit == "fault:propagation_raise"
+            assert result.stats.nodes == 10
+            assert [f.kind for f in result.faults] == ["injected"]
+
+    def test_differential_holds_under_injection_sweep(self, monkeypatch):
+        # Inject at several depths; the two kernels must always agree on
+        # status, limit, and the node count at which the fault landed.
+        inst = self._chaos_instance()
+        clean = solve_opp(inst, options=_options("bitmask"))
+        assert clean.stats.nodes > 15  # deep enough for the sweep
+        for at_node in (1, 3, 7, 15):
+            monkeypatch.setenv(
+                "REPRO_FAULT_PLAN", json.dumps({"raise_at_node": at_node})
+            )
+            fast = solve_opp(inst, options=_options("bitmask"))
+            slow = solve_opp(inst, options=_options("reference"))
+            assert _signature(fast) == _signature(slow)
+            assert fast.stats.limit == slow.stats.limit
+
+    def test_explicit_fault_plan_via_options(self):
+        # The same plan shipped through SolverOptions.fault_plan instead
+        # of the environment — both kernels must honor it identically.
+        from repro.parallel.faults import FaultPlan
+
+        inst = self._chaos_instance()
+        plan = FaultPlan(raise_at_node=5)
+        fast = solve_opp(inst, options=_options("bitmask", fault_plan=plan))
+        slow = solve_opp(inst, options=_options("reference", fault_plan=plan))
+        assert _signature(fast) == _signature(slow)
+        assert fast.stats.limit == "fault:propagation_raise"
+
+
+class TestPrecedenceWitnesses:
+    """Hand-built precedence structures both kernels must judge alike."""
+
+    def test_chain_saturating_time_axis(self):
+        from repro.core.boxes import make_instance
+
+        inst = make_instance(
+            [(2, 2, 2)] * 3, (2, 2, 6), precedence_arcs=[(0, 1), (1, 2)]
+        )
+        _assert_same_solve(inst)
+
+    def test_chain_overflowing_time_axis(self):
+        from repro.core.boxes import make_instance
+
+        inst = make_instance(
+            [(2, 2, 2)] * 3, (2, 2, 5), precedence_arcs=[(0, 1), (1, 2)]
+        )
+        fast, _ = _assert_same_solve(inst)
+        assert fast.status == "unsat"
+
+    def test_diamond_dependency(self):
+        from repro.core.boxes import make_instance
+
+        inst = make_instance(
+            [(2, 2, 1), (1, 2, 1), (2, 1, 1), (2, 2, 1)], (3, 3, 3),
+            precedence_arcs=[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        _assert_same_solve(inst)

@@ -1,0 +1,167 @@
+"""Node-counter reconciliation across every accounting layer.
+
+Four counters claim to describe the same search:
+
+* ``SearchStats.nodes`` — incremented at each branch-and-bound node;
+* ``PropagationStats.nodes_entered`` — the kernel-side counter, bumped by
+  the search loop on the model it drives;
+* the ``search.nodes`` telemetry counter — added at solve finish, summed
+  across portfolio entrants by ``merge_entrant``;
+* ``SearchCheckpoint.nodes`` — the snapshot taken when a solve is
+  interrupted.
+
+These tests pin them to each other in every execution mode (direct
+search, ``solve_opp``, budgeted probe resumption, and the serial /
+thread / process portfolio backends) so a future change to any one layer
+cannot silently drift from the others.  The budgeted-resume case guards
+the historical failure mode: ``_ProbeRunner`` folds each slice's nodes
+into the returned stats, and the returned checkpoint must be updated in
+the same breath or ``checkpoint.nodes == stats.nodes`` (pinned by
+``tests/test_checkpoint.py`` for single-slice results) breaks on carried
+results.
+"""
+
+import random
+
+import pytest
+
+from repro.core import BranchAndBound, SolverOptions, solve_opp
+from repro.core.bitmask import KERNELS
+from repro.core.bmp import _ProbeRunner
+from repro.core.search import BranchingOptions
+from repro.instances.random_instances import random_instance
+from repro.parallel import PortfolioSolver
+from repro.parallel.faults import FaultPlan
+from repro.parallel.portfolio import PortfolioConfig
+from repro.telemetry import Telemetry
+
+SEARCH_ONLY = dict(use_bounds=False, use_heuristics=False, use_annealing=False)
+
+
+def _searchy_instance():
+    """A deterministic instance whose search-only tree has dozens of
+    nodes (so the counters have something to disagree about)."""
+    rng = random.Random(42)
+    insts = [
+        random_instance(
+            rng, container=(5, 5, 5), num_boxes=7, max_width=4,
+            precedence_density=0.3,
+        )
+        for _ in range(7)
+    ]
+    return insts[-1]
+
+
+def _instance_pool(seed, count):
+    rng = random.Random(seed)
+    return [
+        random_instance(
+            rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+            precedence_density=0.3,
+        )
+        for _ in range(count)
+    ]
+
+
+class TestSerialAgreement:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_search_model_and_telemetry_counters_agree(self, kernel):
+        telemetry = Telemetry()
+        solver = BranchAndBound(
+            _searchy_instance(), kernel=kernel, telemetry=telemetry
+        )
+        solver.solve()
+        assert solver.stats.nodes > 0
+        assert solver.model.stats.nodes_entered == solver.stats.nodes
+        assert telemetry.counter("search.nodes").value == solver.stats.nodes
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_agreement_holds_across_a_pool(self, kernel):
+        for inst in _instance_pool(900, 10):
+            solver = BranchAndBound(inst, node_limit=3000, kernel=kernel)
+            solver.solve()
+            assert solver.model.stats.nodes_entered == solver.stats.nodes
+
+    def test_solve_opp_reports_search_nodes_to_telemetry(self):
+        telemetry = Telemetry()
+        result = solve_opp(
+            _searchy_instance(),
+            options=SolverOptions(**SEARCH_ONLY),
+            telemetry=telemetry,
+        )
+        assert result.stats.nodes > 0
+        assert telemetry.counter("search.nodes").value == result.stats.nodes
+
+    def test_interrupted_solve_checkpoint_matches_stats(self):
+        result = solve_opp(
+            _searchy_instance(),
+            options=SolverOptions(node_limit=10, **SEARCH_ONLY),
+        )
+        assert result.status == "unknown"
+        assert result.checkpoint is not None
+        assert result.checkpoint.nodes == result.stats.nodes
+
+
+class TestBudgetedResumeCarry:
+    """The ``_ProbeRunner`` carry path: slices must sum, not drift."""
+
+    def _stuck_probe(self):
+        # An injected propagation fault fires at the same node count in
+        # every slice, so the runner resumes until it sees the same
+        # frontier twice and returns a carried, still-unknown result.
+        runner = _ProbeRunner(
+            options=SolverOptions(
+                fault_plan=FaultPlan(raise_at_node=7), **SEARCH_ONLY
+            ),
+            budget=60.0,
+        )
+        return runner, runner.solve(_searchy_instance())
+
+    def test_carried_result_sums_slice_nodes(self):
+        runner, opp = self._stuck_probe()
+        assert opp.status == "unknown"
+        assert runner.resume_slices >= 1
+        # Every slice stops at the injected fault after exactly 7 nodes.
+        assert opp.stats.nodes == 7 * (runner.resume_slices + 1)
+
+    def test_carried_result_checkpoint_matches_stats(self):
+        _, opp = self._stuck_probe()
+        assert opp.checkpoint is not None
+        assert opp.checkpoint.nodes == opp.stats.nodes
+
+    def test_unbudgeted_probe_has_no_carry(self):
+        runner = _ProbeRunner(options=SolverOptions(**SEARCH_ONLY))
+        opp = runner.solve(_searchy_instance())
+        assert runner.resume_slices == 0
+        assert opp.status == "sat"
+
+
+class TestPortfolioBackends:
+    """stats.nodes == sum(per-entrant nodes) == merged telemetry counter."""
+
+    @staticmethod
+    def _configs():
+        return [
+            PortfolioConfig("search-guided", SolverOptions(**SEARCH_ONLY)),
+            PortfolioConfig(
+                "search-static",
+                SolverOptions(
+                    branching=BranchingOptions(strategy="static"),
+                    **SEARCH_ONLY,
+                ),
+            ),
+        ]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_counters_reconcile(self, backend):
+        telemetry = Telemetry()
+        with PortfolioSolver(
+            configs=self._configs(), workers=2, backend=backend,
+            telemetry=telemetry,
+        ) as solver:
+            result = solver.solve(_searchy_instance())
+        assert result.status == "sat"
+        per_entrant = sum(s.nodes for s in result.per_config.values())
+        assert result.stats.nodes == per_entrant
+        assert telemetry.counter("search.nodes").value == result.stats.nodes
+        assert result.stats.nodes > 0

@@ -7,7 +7,7 @@ hardware and implementation language); the optima are.
 
 import pytest
 
-from repro.core import SolverOptions, minimize_base, pareto_front
+from repro.core import SolverOptions, minimize_base, pareto_front, solve_opp
 from repro.fpga import (
     explore_tradeoffs,
     minimize_chip,
@@ -131,3 +131,79 @@ class TestSolverAgreementOnPaperInstances:
             outcome = place(graph, square_chip(side), t)
             assert outcome.status == "sat"
             assert outcome.schedule.is_feasible()
+
+
+SEARCH_ONLY = dict(use_bounds=False, use_heuristics=False, use_annealing=False)
+
+
+class TestGoldenSearchTrees:
+    """Golden lock: exact node counts on the paper's instances.
+
+    The reference kernel is the semantic oracle for the bitmask engine
+    (see ``tests/test_kernel_differential.py``), so its search trees on
+    the paper's own instances are pinned here *exactly*.  Any change to
+    branching order, propagation strength, or symmetry breaking shows up
+    as a diff in these constants — which is the point: such a change must
+    be deliberate, and must update this lock in the same commit.
+
+    The decisive probes around the Table 1 staircase are run in
+    search-only mode (bounds and heuristics disabled) because under the
+    default pipeline the paper instances never reach the search at all —
+    which the second test pins as well.
+    """
+
+    # (chip side, time bound) -> (status, nodes, leaves), search-only,
+    # measured under the reference kernel.  The UNSAT probes are proved
+    # by root propagation alone, hence zero nodes.
+    GOLDEN_SEARCH_ONLY = {
+        (17, 13): ("sat", 61, 1),
+        (16, 13): ("unsat", 0, 0),
+        (16, 14): ("sat", 14, 1),
+        (15, 14): ("unsat", 0, 0),
+    }
+
+    @pytest.mark.parametrize("kernel", ["reference", "bitmask"])
+    @pytest.mark.parametrize(
+        "side,time_bound", sorted(GOLDEN_SEARCH_ONLY)
+    )
+    def test_de_search_tree_is_pinned(self, side, time_bound, kernel):
+        # Both kernels must hit the identical pinned tree — the golden
+        # numbers double as a kernel-equivalence check on real instances.
+        instance = de_task_graph().to_instance(square_chip(side), time_bound)
+        result = solve_opp(
+            instance, options=SolverOptions(kernel=kernel, **SEARCH_ONLY)
+        )
+        expected = self.GOLDEN_SEARCH_ONLY[(side, time_bound)]
+        assert (result.status, result.stats.nodes, result.stats.leaves) == expected
+
+    @pytest.mark.parametrize(
+        "side,time_bound,status,stage",
+        [
+            (17, 13, "sat", "heuristic"),
+            (16, 14, "sat", "heuristic"),
+        ],
+    )
+    def test_de_default_pipeline_never_searches(
+        self, side, time_bound, status, stage
+    ):
+        instance = de_task_graph().to_instance(square_chip(side), time_bound)
+        result = solve_opp(instance, options=SolverOptions(kernel="reference"))
+        assert (result.status, result.stage, result.stats.nodes) == (
+            status, stage, 0,
+        )
+
+    @pytest.mark.parametrize(
+        "side,time_bound,status,stage",
+        [
+            (64, TABLE_2["latency"], "sat", "heuristic"),
+            (63, 500, "unsat", "bounds"),
+        ],
+    )
+    def test_codec_default_pipeline_is_pinned(
+        self, side, time_bound, status, stage
+    ):
+        instance = codec_task_graph().to_instance(square_chip(side), time_bound)
+        result = solve_opp(instance, options=SolverOptions(kernel="reference"))
+        assert (result.status, result.stage, result.stats.nodes) == (
+            status, stage, 0,
+        )
