@@ -35,15 +35,19 @@ Main modules:
 * :mod:`repro.core` — the packing engine (OPP/BMP/SPP/FixedS solvers,
   packing classes, bounds);
 * :mod:`repro.parallel` — the racing portfolio, result cache, fault plans;
+* :mod:`repro.runtime` — crash-safe batch solving (durable journal,
+  per-instance watchdogs, kill-anywhere resume);
+* :mod:`repro.certify` — independent certification of solver results;
 * :mod:`repro.telemetry` — tracing and metrics;
 * :mod:`repro.instances` — the paper's DE and video-codec benchmarks;
 * :mod:`repro.baselines` — the comparison approaches the paper rejects.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (
     baselines,
+    certify,
     core,
     fpga,
     graphs,
@@ -51,12 +55,15 @@ from . import (
     instances,
     io,
     parallel,
+    runtime,
     telemetry,
 )
 from .api import PROBLEMS, solve
+from .certify import certify_batch_dir, certify_payload
 from .core.opp import OPPResult, SolverOptions
 from .parallel.cache import ResultCache
 from .parallel.portfolio import PortfolioSolver
+from .runtime import BatchRunner, run_batch
 from .telemetry import Telemetry
 
 __all__ = [
@@ -69,9 +76,15 @@ __all__ = [
     "ResultCache",
     "PortfolioSolver",
     "Telemetry",
+    # the batch runtime + certification layer
+    "BatchRunner",
+    "run_batch",
+    "certify_batch_dir",
+    "certify_payload",
     # submodules
     "api",
     "baselines",
+    "certify",
     "core",
     "fpga",
     "graphs",
@@ -79,6 +92,7 @@ __all__ = [
     "instances",
     "io",
     "parallel",
+    "runtime",
     "telemetry",
     "__version__",
 ]

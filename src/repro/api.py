@@ -312,4 +312,11 @@ def solve(
             portfolio.close()
 
 
-__all__ = ["PROBLEMS", "solve"]
+# The batch runtime's facade rides along here: ``run_batch`` drives many
+# instances through the same solvers under crash-safe journaling, and its
+# per-instance results follow the common result protocol above (each
+# ``done`` journal record carries the status, witness, and certification
+# verdict).  See :mod:`repro.runtime`.
+from .runtime import run_batch  # noqa: E402  (re-export, after the facade)
+
+__all__ = ["PROBLEMS", "run_batch", "solve"]

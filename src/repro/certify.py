@@ -1,0 +1,358 @@
+"""Independent certification of solver results.
+
+A result that lands on hardware should be trusted for a better reason than
+"the search engine said so".  This module makes every verdict of a batch
+run *independently checkable*:
+
+* **SAT / optimal** results carry a certificate — the witness placement
+  plus a restatement of the instance (see
+  :meth:`repro.core.opp.OPPResult.certificate_payload`).  The checker here
+  re-derives container bounds, pairwise box disjointness, and precedence
+  feasibility from the plain numbers alone.  It deliberately imports
+  *nothing* from the search engine (no edge-state model, no packing
+  classes, not even :mod:`repro.core.boxes`): a bug in the solver's data
+  structures cannot also hide in its own auditor.
+
+* **UNSAT / optimality** claims have no small witness, so they are
+  spot-rechecked by re-running the decision on the ``reference`` kernel —
+  the object-per-edge oracle retained since the bitmask kernel landed —
+  under a node budget.  Agreement certifies, disagreement refutes, and an
+  exhausted budget is reported honestly as ``inconclusive``.
+
+The batch runtime (:mod:`repro.runtime`) certifies every result as it is
+produced; a certification failure quarantines the journal record with a
+structured incident report instead of crashing the batch.  ``repro-fpga
+certify <dir>`` re-audits a finished batch offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Statuses whose certificates are checkable placements.
+SAT_STATUSES = ("sat", "optimal")
+#: Statuses certified by re-deciding on the reference kernel.
+UNSAT_STATUSES = ("unsat", "infeasible")
+
+#: Default node budget for reference-kernel rechecks of UNSAT claims.
+DEFAULT_RECHECK_NODES = 200_000
+
+
+# ---------------------------------------------------------------------------
+# The standalone checker (pure arithmetic, no solver imports)
+# ---------------------------------------------------------------------------
+
+
+def _closure(n: int, arcs: List[List[int]]) -> List[List[int]]:
+    """Transitive closure by repeated relaxation (tiny n; clarity wins)."""
+    reach = [[False] * n for _ in range(n)]
+    for u, v in arcs:
+        reach[u][v] = True
+    for k in range(n):
+        row_k = reach[k]
+        for u in range(n):
+            if reach[u][k]:
+                row_u = reach[u]
+                for v in range(n):
+                    if row_k[v]:
+                        row_u[v] = True
+    return [[u, v] for u in range(n) for v in range(n) if reach[u][v]]
+
+
+def check_certificate(cert: Mapping[str, Any]) -> List[str]:
+    """Validate a SAT certificate payload; returns the list of violations
+    (empty iff the certificate is valid).
+
+    The payload shape is that of
+    :meth:`~repro.core.opp.OPPResult.certificate_payload`: ``boxes`` (per-box
+    width vectors), ``container`` (size vector), ``time_axis``,
+    ``precedence`` (arc list, closed or not — the checker closes it itself),
+    and ``positions`` (per-box anchor vectors).  Everything is re-derived
+    from these numbers with plain comparisons.
+    """
+    problems: List[str] = []
+    try:
+        boxes = [list(map(int, w)) for w in cert["boxes"]]
+        container = list(map(int, cert["container"]))
+        positions_raw = cert["positions"]
+        arcs = [list(map(int, a)) for a in (cert.get("precedence") or [])]
+        time_axis = int(cert.get("time_axis", len(container) - 1))
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"malformed certificate: {exc}"]
+    n = len(boxes)
+    d = len(container)
+    if positions_raw is None:
+        return ["certificate carries no positions"]
+    positions = []
+    try:
+        positions = [list(map(int, p)) for p in positions_raw]
+    except (TypeError, ValueError) as exc:
+        return [f"malformed positions: {exc}"]
+    if len(positions) != n:
+        return [f"{len(positions)} positions for {n} boxes"]
+    if any(s <= 0 for s in container):
+        problems.append(f"container sizes must be positive: {container}")
+    if not 0 <= time_axis < d:
+        problems.append(f"time axis {time_axis} outside {d} dimensions")
+        time_axis = d - 1
+    for i in range(n):
+        if len(boxes[i]) != d or len(positions[i]) != d:
+            problems.append(f"box {i} widths/position have wrong dimension")
+            continue
+        if any(w <= 0 for w in boxes[i]):
+            problems.append(f"box {i} widths must be positive: {boxes[i]}")
+        for axis in range(d):
+            lo = positions[i][axis]
+            hi = lo + boxes[i][axis]
+            if lo < 0 or hi > container[axis]:
+                problems.append(
+                    f"box {i} leaves the container on axis {axis}: "
+                    f"[{lo}, {hi}) vs size {container[axis]}"
+                )
+    if problems:
+        return problems
+    for i in range(n):
+        for j in range(i + 1, n):
+            if all(
+                max(positions[i][a], positions[j][a])
+                < min(
+                    positions[i][a] + boxes[i][a],
+                    positions[j][a] + boxes[j][a],
+                )
+                for a in range(d)
+            ):
+                problems.append(f"boxes {i} and {j} overlap")
+    for u, v in _closure(n, [a for a in arcs if 0 <= a[0] < n and 0 <= a[1] < n]):
+        if positions[u][time_axis] + boxes[u][time_axis] > positions[v][time_axis]:
+            problems.append(
+                f"precedence violated: box {u} ends at "
+                f"{positions[u][time_axis] + boxes[u][time_axis]} after box "
+                f"{v} starts at {positions[v][time_axis]}"
+            )
+    for a in arcs:
+        if not (0 <= a[0] < n and 0 <= a[1] < n):
+            problems.append(f"precedence arc {a} names a missing box")
+    return problems
+
+
+def certificate_is_valid(cert: Mapping[str, Any]) -> bool:
+    return not check_certificate(cert)
+
+
+# ---------------------------------------------------------------------------
+# Certification verdicts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CertificationVerdict:
+    """Outcome of certifying one result.
+
+    ``verdict`` is ``"certified"`` (the claim checks out), ``"refuted"``
+    (the claim is demonstrably wrong — a bug or corruption), or
+    ``"inconclusive"`` (the recheck budget ran out before agreeing or
+    disagreeing).  ``method`` names how the verdict was reached.
+    """
+
+    verdict: str
+    method: str
+    reason: str = ""
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict == "certified"
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict == "refuted"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "method": self.method,
+            "reason": self.reason,
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CertificationVerdict":
+        return cls(
+            verdict=data["verdict"],
+            method=data.get("method", ""),
+            reason=data.get("reason", ""),
+            violations=list(data.get("violations", [])),
+        )
+
+
+def _recheck_unsat(
+    cert: Mapping[str, Any], budget_nodes: int, time_limit: Optional[float]
+) -> CertificationVerdict:
+    """Re-decide the instance on the reference kernel under a budget.
+
+    The solver import is deliberately local: the placement checker above
+    must stay importable (and auditable) without the search engine.
+    """
+    from .core.boxes import Box, Container, PackingInstance
+    from .core.opp import SolverOptions, solve_opp
+    from .graphs.digraph import DiGraph
+
+    try:
+        boxes = [Box(tuple(w)) for w in cert["boxes"]]
+        arcs = [tuple(a) for a in (cert.get("precedence") or [])]
+        instance = PackingInstance(
+            boxes,
+            Container(tuple(cert["container"])),
+            DiGraph(len(boxes), arcs) if arcs else None,
+            int(cert.get("time_axis", -1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        return CertificationVerdict(
+            verdict="refuted",
+            method="reference-recheck",
+            reason=f"certificate does not describe a valid instance: {exc}",
+        )
+    options = SolverOptions(
+        kernel="reference", node_limit=budget_nodes, time_limit=time_limit
+    )
+    result = solve_opp(instance, options=options)
+    if result.status == "unsat":
+        return CertificationVerdict(
+            verdict="certified",
+            method="reference-recheck",
+            reason=f"reference kernel agrees (nodes={result.stats.nodes})",
+        )
+    if result.status == "sat":
+        return CertificationVerdict(
+            verdict="refuted",
+            method="reference-recheck",
+            reason="reference kernel found a feasible placement for a "
+            "claimed-unsat instance",
+        )
+    return CertificationVerdict(
+        verdict="inconclusive",
+        method="reference-recheck",
+        reason=f"recheck budget exhausted ({result.stats.limit})",
+    )
+
+
+def certify_payload(
+    cert: Mapping[str, Any],
+    *,
+    recheck: bool = True,
+    recheck_nodes: int = DEFAULT_RECHECK_NODES,
+    recheck_time_limit: Optional[float] = None,
+) -> CertificationVerdict:
+    """Certify one certificate payload (see module docstring).
+
+    SAT claims run the standalone checker; UNSAT claims run the reference
+    recheck (skipped, as ``inconclusive``, when ``recheck=False``); any
+    other status has nothing to certify and is ``inconclusive``.
+    """
+    status = cert.get("status")
+    if status in SAT_STATUSES:
+        violations = check_certificate(cert)
+        if violations:
+            return CertificationVerdict(
+                verdict="refuted",
+                method="checker",
+                reason="placement certificate is infeasible",
+                violations=violations,
+            )
+        return CertificationVerdict(
+            verdict="certified",
+            method="checker",
+            reason="placement re-validated by the standalone checker",
+        )
+    if status in UNSAT_STATUSES:
+        if not recheck:
+            return CertificationVerdict(
+                verdict="inconclusive",
+                method="skipped",
+                reason="UNSAT recheck disabled",
+            )
+        return _recheck_unsat(cert, recheck_nodes, recheck_time_limit)
+    return CertificationVerdict(
+        verdict="inconclusive",
+        method="skipped",
+        reason=f"status {status!r} carries no certifiable claim",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch auditing (offline `repro-fpga certify <dir>`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchAudit:
+    """Summary of certifying every terminal record of a batch journal."""
+
+    verdicts: Dict[str, CertificationVerdict] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def refuted(self) -> List[str]:
+        return [k for k, v in self.verdicts.items() if v.refuted]
+
+    @property
+    def certified(self) -> List[str]:
+        return [k for k, v in self.verdicts.items() if v.certified]
+
+    @property
+    def inconclusive(self) -> List[str]:
+        return [
+            k
+            for k, v in self.verdicts.items()
+            if v.verdict == "inconclusive"
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.refuted
+
+
+def certify_batch_dir(
+    batch_dir: str,
+    *,
+    recheck: bool = True,
+    recheck_nodes: int = DEFAULT_RECHECK_NODES,
+    recheck_time_limit: Optional[float] = None,
+) -> BatchAudit:
+    """Re-audit a finished (or surviving) batch directory: certify the
+    certificate of every ``done`` journal record.  Records without a
+    certificate (failed / timed-out instances) are listed as skipped."""
+    import os
+
+    from .io.journal import JOURNAL_NAME, last_record_per_instance, read_journal
+
+    audit = BatchAudit()
+    journal = read_journal(os.path.join(batch_dir, JOURNAL_NAME))
+    for instance_id, record in sorted(
+        last_record_per_instance(journal.records).items()
+    ):
+        cert = record["data"].get("certificate_payload")
+        if record["kind"] != "done" or cert is None:
+            audit.skipped.append(instance_id)
+            continue
+        audit.verdicts[instance_id] = certify_payload(
+            cert,
+            recheck=recheck,
+            recheck_nodes=recheck_nodes,
+            recheck_time_limit=recheck_time_limit,
+        )
+    return audit
+
+
+__all__ = [
+    "BatchAudit",
+    "CertificationVerdict",
+    "DEFAULT_RECHECK_NODES",
+    "SAT_STATUSES",
+    "UNSAT_STATUSES",
+    "certificate_is_valid",
+    "certify_batch_dir",
+    "certify_payload",
+    "check_certificate",
+]

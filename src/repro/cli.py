@@ -11,7 +11,10 @@ Subcommands regenerate the paper's experiments and solve user instances:
 * ``spp``    — minimal latency for a task-graph JSON + chip;
 * ``area``   — minimal free-aspect chip for a task-graph JSON + deadline;
 * ``pareto`` — Pareto front for a task-graph JSON;
-* ``svg``    — render a Gantt chart / floorplans for a design point.
+* ``svg``    — render a Gantt chart / floorplans for a design point;
+* ``batch``  — crash-safe batch solving over a manifest (``--resume``
+  continues an interrupted batch from its journal; see docs/robustness.md);
+* ``certify`` — independently re-audit a batch directory's results.
 
 Task-graph JSON files follow :func:`repro.io.serialize.task_graph_to_dict`;
 the built-in benchmarks are available as ``@de``, ``@codec``, ``@fir<N>``
@@ -42,11 +45,15 @@ from .telemetry import Telemetry
 # exit with their own code and a one-line stderr message, so batch drivers
 # can tell "your input is bad" (4, do not retry) from "the solver gave up"
 # (3, retry with a bigger budget) and from internal errors (1, report).
+# A graceful shutdown (SIGINT/SIGTERM) exits 5 after cancelling entrants
+# and flushing the journal and telemetry: "interrupted, resumable" is
+# distinct from every answer and every error.
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_UNSAT = 2
 EXIT_UNKNOWN = 3
 EXIT_INPUT = 4
+EXIT_INTERRUPTED = 5
 
 
 class _InputError(Exception):
@@ -441,6 +448,130 @@ def _cmd_svg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Crash-safe batch solving (see :mod:`repro.runtime`).
+
+    SIGINT/SIGTERM are handled cooperatively for the duration: the first
+    signal cancels in-flight entrants, flushes the journal (checkpointing
+    the interrupted solve) and telemetry, and exits
+    :data:`EXIT_INTERRUPTED`; ``--resume`` later continues the batch.
+    """
+    import signal
+    import threading
+
+    from .runtime import BatchRunner, ManifestError, load_manifest
+
+    if args.resume and args.manifest is not None:
+        raise _InputError("--resume continues the journal; drop the manifest")
+    if not args.resume and args.manifest is None:
+        raise _InputError("a manifest is required (or pass --resume)")
+
+    stop = threading.Event()
+
+    def _graceful(signum, frame):  # noqa: ARG001 (signal handler shape)
+        stop.set()
+
+    runner = BatchRunner(
+        args.out,
+        options=SolverOptions(kernel=args.kernel),
+        workers=args.workers,
+        cache=_make_cache(args),
+        time_limit=args.instance_time_limit,
+        memory_limit_mb=args.memory_limit_mb,
+        checkpoint_interval=args.checkpoint_interval,
+        certify=not args.no_certify,
+        recheck_nodes=args.recheck_nodes,
+        telemetry=_telemetry(args),
+        stop_event=stop,
+    )
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _graceful)
+        except (ValueError, OSError):  # non-main thread / exotic platform
+            pass
+    try:
+        if args.resume:
+            try:
+                result = runner.resume()
+            except (ValueError, OSError) as exc:
+                raise _InputError(f"cannot resume {args.out!r}: {exc}") from exc
+        else:
+            try:
+                entries = load_manifest(args.manifest)
+            except ManifestError as exc:
+                raise _InputError(str(exc)) from exc
+            try:
+                result = runner.run(entries)
+            except ValueError as exc:
+                raise _InputError(str(exc)) from exc
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    for outcome in sorted(result.outcomes.values(), key=lambda o: o.instance_id):
+        line = f"{outcome.instance_id}: {outcome.kind}"
+        if outcome.kind == "done":
+            line += f" ({outcome.status}"
+            if outcome.certification is not None:
+                line += f", certification: {outcome.certification['verdict']}"
+            line += ")"
+        elif outcome.detail:
+            line += f" ({outcome.detail})"
+        if outcome.replayed:
+            line += " [journal]"
+        print(line)
+    print(
+        f"batch: {result.count('done')} done, "
+        f"{result.count('failed')} failed, "
+        f"{result.count('timed-out')} timed out, "
+        f"{result.count('memory-limited')} memory-limited, "
+        f"{result.count('quarantined')} quarantined"
+        + (" — INTERRUPTED (resume with --resume)" if result.interrupted else "")
+    )
+    if result.interrupted:
+        return EXIT_INTERRUPTED
+    if result.count("quarantined") or result.count("failed"):
+        return EXIT_ERROR
+    if result.count("timed-out") or result.count("memory-limited"):
+        return EXIT_UNKNOWN
+    return EXIT_OK
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """Independently re-audit a batch directory (see :mod:`repro.certify`)."""
+    import os
+
+    from .certify import certify_batch_dir
+    from .io.journal import JOURNAL_NAME
+
+    if not os.path.exists(os.path.join(args.batch_dir, JOURNAL_NAME)):
+        raise _InputError(
+            f"{args.batch_dir!r} holds no {JOURNAL_NAME} (not a batch dir?)"
+        )
+    audit = certify_batch_dir(
+        args.batch_dir,
+        recheck=not args.no_recheck,
+        recheck_nodes=args.budget_nodes,
+        recheck_time_limit=args.time_limit,
+    )
+    for instance_id in sorted(audit.verdicts):
+        verdict = audit.verdicts[instance_id]
+        line = f"{instance_id}: {verdict.verdict} ({verdict.method})"
+        if verdict.reason:
+            line += f" — {verdict.reason}"
+        print(line)
+        for violation in verdict.violations:
+            print(f"  violation: {violation}")
+    for instance_id in sorted(audit.skipped):
+        print(f"{instance_id}: skipped (no certificate in journal)")
+    print(
+        f"certified {len(audit.certified)}, refuted {len(audit.refuted)}, "
+        f"inconclusive {len(audit.inconclusive)}, skipped {len(audit.skipped)}"
+    )
+    return EXIT_ERROR if audit.refuted else EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fpga",
@@ -556,7 +687,99 @@ def build_parser() -> argparse.ArgumentParser:
     svg.add_argument("--height", type=int, default=None)
     svg.add_argument("--time", type=int, required=True)
     svg.add_argument("--output", default="schedule", help="output file prefix")
+
+    batch = sub.add_parser(
+        "batch",
+        help="crash-safe batch solving with a durable journal "
+        "(docs/robustness.md)",
+        parents=[observe],
+    )
+    batch.add_argument(
+        "manifest", nargs="?", default=None,
+        help="instance manifest: a JSON list, a JSONL stream, or a "
+        "directory of instance files (omit with --resume)",
+    )
+    batch.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="batch directory (journal.jsonl, incidents.jsonl)",
+    )
+    batch.add_argument(
+        "--resume", action="store_true",
+        help="continue the interrupted batch recorded in --out (skips "
+        "completed instances, resumes in-flight ones from checkpoints)",
+    )
+    batch.add_argument(
+        "--time-limit", dest="instance_time_limit", type=float, default=None,
+        metavar="SEC", help="per-instance wall-clock watchdog",
+    )
+    batch.add_argument(
+        "--memory-limit-mb", type=float, default=None, metavar="MB",
+        help="per-instance process-RSS watchdog",
+    )
+    batch.add_argument(
+        "--checkpoint-interval", type=float, default=5.0, metavar="SEC",
+        help="solve in slices of this length, journaling a resumable "
+        "checkpoint between slices (default: 5s)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="race the solver portfolio on N workers per instance",
+    )
+    batch.add_argument(
+        "--kernel", choices=("bitmask", "reference"), default="bitmask",
+        help="search kernel for the solves",
+    )
+    batch.add_argument(
+        "--no-certify", action="store_true",
+        help="skip inline certification of results (certify later with "
+        "the certify subcommand)",
+    )
+    batch.add_argument(
+        "--recheck-nodes", type=int, default=200_000, metavar="N",
+        help="node budget for reference-kernel rechecks of UNSAT claims",
+    )
+    batch.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="directory for the on-disk verdict cache (created if missing)",
+    )
+
+    certify = sub.add_parser(
+        "certify",
+        help="independently re-audit a batch directory's results",
+        parents=[observe],
+    )
+    certify.add_argument("batch_dir", help="a directory written by batch")
+    certify.add_argument(
+        "--budget-nodes", type=int, default=200_000, metavar="N",
+        help="node budget for reference-kernel rechecks of UNSAT claims",
+    )
+    certify.add_argument(
+        "--time-limit", type=float, default=None, metavar="SEC",
+        help="wall-clock cap per UNSAT recheck",
+    )
+    certify.add_argument(
+        "--no-recheck", action="store_true",
+        help="only run the standalone placement checker; report UNSAT "
+        "claims as inconclusive instead of rechecking them",
+    )
     return parser
+
+
+def _install_sigterm_as_interrupt() -> Optional[object]:
+    """Make SIGTERM interrupt non-batch commands like Ctrl-C does, so every
+    subcommand flushes telemetry and exits :data:`EXIT_INTERRUPTED` instead
+    of dying mid-write.  (The batch command replaces this with its own
+    cooperative handler for the duration of the run.)  Returns the previous
+    handler, or ``None`` when handlers cannot be installed here."""
+    import signal
+
+    def _interrupt(signum, frame):  # noqa: ARG001 (signal handler shape)
+        raise KeyboardInterrupt
+
+    try:
+        return signal.signal(signal.SIGTERM, _interrupt)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -581,12 +804,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "area": _cmd_area,
         "pareto": _cmd_pareto,
         "svg": _cmd_svg,
+        "batch": _cmd_batch,
+        "certify": _cmd_certify,
     }
+    _install_sigterm_as_interrupt()
     try:
         code = handlers[args.command](args)
     except _InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = EXIT_INPUT
+    except KeyboardInterrupt:
+        # Graceful shutdown: fall through so the journal-backed state the
+        # handler already flushed is joined by the telemetry below.
+        print("interrupted", file=sys.stderr)
+        code = EXIT_INTERRUPTED
     telemetry = args.telemetry
     if telemetry is not None:
         # Emit telemetry even when the command failed — a trace of the run

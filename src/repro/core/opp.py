@@ -134,6 +134,37 @@ class OPPResult:
         ``"cancelled"``), or ``None`` when the answer is conclusive."""
         return self.stats.limit
 
+    def certificate_payload(self, instance: PackingInstance) -> dict:
+        """A self-contained plain-dict certificate of this verdict.
+
+        The payload restates the *instance* (box widths, container sizes,
+        time axis, transitively closed precedence arcs) and, for SAT
+        verdicts, the witness ``positions`` — everything an independent
+        checker (:mod:`repro.certify`) needs to re-derive disjointness,
+        container bounds, and precedence feasibility, or to re-run the
+        decision on the reference kernel, without touching any solver data
+        structure.  Plain lists and ints only, so the payload survives JSON
+        round trips byte-identically.
+        """
+        closure = instance.closed_precedence()
+        payload = {
+            "boxes": [list(b.widths) for b in instance.boxes],
+            "container": list(instance.container.sizes),
+            "time_axis": instance.time_axis % instance.dimensions,
+            "precedence": (
+                sorted([u, v] for u, v in closure.arcs())
+                if closure is not None
+                else []
+            ),
+            "status": self.status,
+            "positions": (
+                [list(p) for p in self.placement.positions]
+                if self.placement is not None
+                else None
+            ),
+        }
+        return payload
+
 
 def _active_fault_plan(options: SolverOptions) -> Optional[object]:
     """The fault plan to run under: the explicit one, else the env hook.

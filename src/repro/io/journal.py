@@ -1,0 +1,241 @@
+"""A durable write-ahead journal for the batch runtime.
+
+The journal is the single source of truth of a batch run: every state
+transition of every instance (``admitted`` → ``running`` → ``checkpointed``
+→ ``done`` / ``failed`` / ``timed-out`` / ...) is appended as one JSON line
+*before* the runtime acts on it, flushed and ``fsync``'d, so a hard kill at
+any byte boundary loses at most the record that was mid-write.  On resume
+the journal is replayed to reconstruct exactly which work is finished,
+which is in flight (and from which checkpoint it continues), and which was
+never started — no result is ever re-reported or lost.
+
+Record envelope (one per line)::
+
+    {"v": 1, "sha256": "<hex>", "seq": 7, "kind": "done",
+     "id": "inst-003", "data": {...}}
+
+``sha256`` covers the canonical encoding of the inner payload (``seq`` /
+``kind`` / ``id`` / ``data``), so torn writes and bit rot are detected per
+record.  A corrupt *final* line is the expected signature of a crash
+mid-append and is silently tolerated (the transition it described never
+took effect); a corrupt line anywhere else is skipped and reported to the
+caller, which files an incident rather than crashing the batch.  ``seq`` is
+strictly increasing; a regression means two writers shared the journal and
+is treated as corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+JOURNAL_VERSION = 1
+
+#: Default file name of a batch directory's journal.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Record kinds a journal may carry (documented in docs/robustness.md).
+RECORD_KINDS = (
+    "batch-start",
+    "admitted",
+    "running",
+    "checkpointed",
+    "done",
+    "failed",
+    "timed-out",
+    "memory-limited",
+    "quarantined",
+    "interrupted",
+    "batch-complete",
+)
+
+#: Kinds that end an instance's life cycle; a resumed batch never re-solves
+#: (or re-reports) an instance whose last record is one of these.
+TERMINAL_KINDS = (
+    "done",
+    "failed",
+    "timed-out",
+    "memory-limited",
+    "quarantined",
+)
+
+
+class JournalError(ValueError):
+    """A structurally unusable journal (not per-record corruption)."""
+
+
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def encode_record(
+    seq: int,
+    kind: str,
+    instance_id: Optional[str] = None,
+    data: Optional[Dict[str, Any]] = None,
+) -> str:
+    """One journal line (no trailing newline) with an embedded checksum."""
+    if kind not in RECORD_KINDS:
+        raise JournalError(f"unknown journal record kind {kind!r}")
+    payload = {
+        "seq": int(seq),
+        "kind": kind,
+        "id": instance_id,
+        "data": data if data is not None else {},
+    }
+    envelope = {
+        "v": JOURNAL_VERSION,
+        "sha256": _payload_checksum(payload),
+        **payload,
+    }
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+
+
+def decode_record(line: str) -> Dict[str, Any]:
+    """Parse + verify one journal line; raises :class:`JournalError` on any
+    corruption (bad JSON, wrong envelope, checksum mismatch)."""
+    try:
+        raw = json.loads(line)
+    except ValueError as exc:
+        raise JournalError(f"unparseable journal line: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("v") != JOURNAL_VERSION:
+        raise JournalError("unknown journal record envelope")
+    try:
+        payload = {
+            "seq": raw["seq"],
+            "kind": raw["kind"],
+            "id": raw["id"],
+            "data": raw["data"],
+        }
+    except KeyError as exc:
+        raise JournalError(f"journal record missing field {exc}") from exc
+    if raw.get("sha256") != _payload_checksum(payload):
+        raise JournalError("journal record checksum mismatch")
+    if payload["kind"] not in RECORD_KINDS:
+        raise JournalError(f"unknown journal record kind {payload['kind']!r}")
+    return payload
+
+
+@dataclass
+class JournalReadResult:
+    """Outcome of replaying a journal file.
+
+    ``records`` holds every verified record in order; ``corrupt`` lists the
+    ``(line_number, reason)`` of every record that failed verification
+    *before* the final line; ``torn_tail`` flags a corrupt final line (the
+    normal signature of a crash mid-append, tolerated silently).
+    """
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    corrupt: List[Tuple[int, str]] = field(default_factory=list)
+    torn_tail: bool = False
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1]["seq"] if self.records else 0
+
+
+def read_journal(path: str) -> JournalReadResult:
+    """Replay a journal file, tolerating a torn final record and skipping
+    (but reporting) corruption anywhere else."""
+    result = JournalReadResult()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return result  # no journal yet = nothing recorded, not corruption
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
+    while lines and not lines[-1].strip():
+        lines.pop()
+    last_seq = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            result.corrupt.append((lineno, "blank line inside journal"))
+            continue
+        try:
+            record = decode_record(line)
+            if record["seq"] <= last_seq:
+                raise JournalError(
+                    f"sequence regressed: {record['seq']} after {last_seq}"
+                )
+        except JournalError as exc:
+            if lineno == len(lines):
+                result.torn_tail = True
+            else:
+                result.corrupt.append((lineno, str(exc)))
+            continue
+        last_seq = record["seq"]
+        result.records.append(record)
+    return result
+
+
+class JournalWriter:
+    """Append-only, fsync'd journal writer.
+
+    Opening an existing journal continues its sequence numbering (after a
+    replay with :func:`read_journal`); ``fsync=False`` trades durability for
+    speed and exists for tests only.
+    """
+
+    def __init__(self, path: str, start_seq: int = 0, fsync: bool = True) -> None:
+        self.path = path
+        self._seq = int(start_seq)
+        self._fsync = fsync
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    def append(
+        self,
+        kind: str,
+        instance_id: Optional[str] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Durably append one record; returns its sequence number."""
+        if self._handle.closed:
+            raise JournalError("journal writer is closed")
+        self._seq += 1
+        self._handle.write(encode_record(self._seq, kind, instance_id, data))
+        self._handle.write("\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        return self._seq
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            if self._fsync:
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def last_record_per_instance(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """The most recent record of each instance id (``None`` ids — batch-level
+    records — are excluded)."""
+    latest: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record["id"] is not None:
+            latest[record["id"]] = record
+    return latest

@@ -117,6 +117,71 @@ def schedule_from_dict(data: Dict[str, Any]) -> ReconfigurationSchedule:
     return ReconfigurationSchedule(graph, chip, entries)
 
 
+def opp_result_to_dict(result: "OPPResult") -> Dict[str, Any]:
+    """Plain-dict encoding of a full :class:`~repro.core.opp.OPPResult`.
+
+    Every runtime field survives: ``faults`` (the fault-tolerance log),
+    ``checkpoint`` (the resumable search prefix), and ``trace`` (a live
+    :class:`~repro.telemetry.Telemetry` is flattened to its primitives-only
+    export payload; an already-exported payload dict passes through
+    unchanged).  The encoding is stable under
+    ``opp_result_to_dict(opp_result_from_dict(d)) == d``.
+    """
+    from dataclasses import asdict
+
+    trace = result.trace
+    if trace is not None and hasattr(trace, "export_payload"):
+        trace = trace.export_payload()
+    return {
+        "status": result.status,
+        "stage": result.stage,
+        "certificate": result.certificate,
+        "placement": (
+            placement_to_dict(result.placement)
+            if result.placement is not None
+            else None
+        ),
+        "stats": asdict(result.stats),
+        "faults": [f.to_dict() for f in result.faults],
+        "checkpoint": (
+            result.checkpoint.to_dict()
+            if result.checkpoint is not None
+            else None
+        ),
+        "trace": trace,
+    }
+
+
+def opp_result_from_dict(data: Dict[str, Any]) -> "OPPResult":
+    """Rebuild an :class:`~repro.core.opp.OPPResult` from its encoding.
+
+    ``trace`` stays the exported primitives payload (spans + metrics
+    snapshot) rather than a live telemetry object — that is all a reloaded
+    result can faithfully carry, and it re-encodes byte-identically.
+    """
+    from ..core.opp import OPPResult
+    from ..core.search import FaultRecord, SearchCheckpoint, SearchStats
+
+    return OPPResult(
+        status=data["status"],
+        placement=(
+            placement_from_dict(data["placement"])
+            if data.get("placement") is not None
+            else None
+        ),
+        certificate=data.get("certificate"),
+        stats=SearchStats(**data.get("stats", {})),
+        stage=data.get("stage", "search"),
+        faults=[FaultRecord.from_dict(f) for f in data.get("faults", [])],
+        checkpoint=(
+            SearchCheckpoint.from_dict(data["checkpoint"])
+            if data.get("checkpoint") is not None
+            else None
+        ),
+        trace=data.get("trace"),
+    )
+
+
 def dumps(obj: Dict[str, Any], indent: Optional[int] = 2) -> str:
     return json.dumps(obj, indent=indent, sort_keys=True)
 

@@ -212,14 +212,25 @@ class ResultCache:
     ``stats.quarantined``, logged, and treated as a miss so the verdict is
     recomputed.  Corruption therefore costs one re-solve, never a wrong or
     crashing answer.
+
+    The quarantine directory itself is bounded: it keeps at most
+    ``quarantine_capacity`` files, evicting the oldest (by modification
+    time) beyond the cap, so sustained corruption — a failing disk, a
+    repeatedly-poisoned shared cache — cannot grow it without limit.
     """
 
     def __init__(
-        self, capacity: int = 4096, disk_path: Optional[str] = None
+        self,
+        capacity: int = 4096,
+        disk_path: Optional[str] = None,
+        quarantine_capacity: int = 256,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
+        if quarantine_capacity < 1:
+            raise ValueError("quarantine capacity must be positive")
         self.capacity = capacity
+        self.quarantine_capacity = quarantine_capacity
         self.disk_path = disk_path
         self.stats = CacheStats()
         self._telemetry: Optional[Any] = None
@@ -364,6 +375,7 @@ class ResultCache:
         try:
             os.makedirs(dest_dir, exist_ok=True)
             os.replace(path, dest)
+            self._trim_quarantine(dest_dir)
             _log.warning(
                 "quarantined corrupt cache entry %s (%s) -> %s",
                 path, reason, dest,
@@ -379,6 +391,32 @@ class ResultCache:
             )
         self.stats.quarantined += 1
         self._count("cache.quarantined")
+
+    def _trim_quarantine(self, dest_dir: str) -> None:
+        """LRU-evict quarantined files beyond ``quarantine_capacity`` (the
+        oldest post-mortem evidence goes first)."""
+        try:
+            names = os.listdir(dest_dir)
+        except OSError:
+            return
+        excess = len(names) - self.quarantine_capacity
+        if excess <= 0:
+            return
+        aged = []
+        for name in names:
+            full = os.path.join(dest_dir, name)
+            try:
+                aged.append((os.path.getmtime(full), full))
+            except OSError:
+                continue
+        aged.sort()
+        for _, full in aged[:excess]:
+            try:
+                os.unlink(full)
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            self._count("cache.quarantine_evictions")
 
     def _store(self, key: str, entry: Dict[str, Any]) -> None:
         self._remember(key, entry)

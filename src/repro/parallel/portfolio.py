@@ -43,7 +43,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .._compat import keyword_only
 from ..core.boxes import PackingInstance, Placement
@@ -285,13 +285,14 @@ class PortfolioSolver:
 
     # -- solving -----------------------------------------------------------
 
-    @keyword_only(2, ("time_limit", "resume_from"))
+    @keyword_only(2, ("time_limit", "resume_from", "should_stop"))
     def solve(
         self,
         instance: PackingInstance,
         *,
         time_limit: Optional[float] = None,
         resume_from: Optional[SearchCheckpoint] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> PortfolioResult:
         """Race the portfolio on one instance; first conclusive answer wins.
         Everything past the instance is keyword-only (legacy positional
@@ -301,6 +302,13 @@ class PortfolioSolver:
         limit of its own; when all entrants come back inconclusive the
         result is ``"unknown"``.  ``resume_from`` hands an interrupted
         entrant its checkpoint so it continues instead of restarting.
+
+        ``should_stop`` is a cooperative external cancellation hook (batch
+        watchdogs, SIGINT): polled between entrants on the serial backend,
+        folded into every entrant's stop check on the thread backend, and
+        polled by the harvest loop on the process backend (the trip bumps
+        the shared generation so workers unwind).  A tripped race returns
+        ``"unknown"`` with ``stats.limit == "cancelled"``.
         """
         telemetry = self.telemetry
         start = time.monotonic()
@@ -336,6 +344,12 @@ class PortfolioSolver:
             if telemetry.enabled:
                 telemetry.counter("cache.misses").add()
 
+        if should_stop is not None and should_stop():
+            result = PortfolioResult(status=UNKNOWN, backend=self.backend)
+            result.stats.limit = "cancelled"
+            result.elapsed = time.monotonic() - start
+            return finish(result)
+
         configs = self.configs
         if time_limit is not None:
             configs = [
@@ -356,9 +370,9 @@ class PortfolioSolver:
         faults: List[FaultRecord] = []
         if self.backend == "process":
             raw, remaining = self._race_process(
-                instance, configs, faults, resume_from, time_limit
+                instance, configs, faults, resume_from, time_limit, should_stop
             )
-            if remaining:
+            if remaining and not (should_stop is not None and should_stop()):
                 self.backend = "thread"
                 faults.append(
                     FaultRecord(
@@ -367,18 +381,28 @@ class PortfolioSolver:
                     )
                 )
                 raw += self._race_threads(
-                    instance, remaining, faults, resume_from, time_limit
+                    instance, remaining, faults, resume_from, time_limit,
+                    should_stop,
                 )
         elif self.backend == "thread":
             raw = self._race_threads(
-                instance, configs, faults, resume_from, time_limit
+                instance, configs, faults, resume_from, time_limit, should_stop
             )
         else:
-            raw = self._race_serial(instance, configs, faults, resume_from)
+            raw = self._race_serial(
+                instance, configs, faults, resume_from, should_stop
+            )
 
         result = self._combine(instance, raw, faults)
         result.backend = self.backend
         result.elapsed = time.monotonic() - start
+        if (
+            result.status == UNKNOWN
+            and result.stats.limit is None
+            and should_stop is not None
+            and should_stop()
+        ):
+            result.stats.limit = "cancelled"
         if self.cache is not None and result.status in (SAT, UNSAT):
             self.cache.put(instance, result.to_opp_result())
         return finish(result)
@@ -455,15 +479,18 @@ class PortfolioSolver:
         configs: List[PortfolioConfig],
         faults: List[FaultRecord],
         resume_from: Optional[SearchCheckpoint] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> List[Dict[str, Any]]:
         outcomes: List[Dict[str, Any]] = []
         for config in configs:
+            if should_stop is not None and should_stop():
+                break
             try:
                 data = run_config_inline(
                     config.name,
                     instance,
                     config.options,
-                    None,
+                    should_stop,
                     self._resume_payload(config.name, resume_from),
                     self.telemetry.enabled,
                 )
@@ -488,12 +515,18 @@ class PortfolioSolver:
         faults: List[FaultRecord],
         resume_from: Optional[SearchCheckpoint] = None,
         time_limit: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> List[Dict[str, Any]]:
         from concurrent.futures import ThreadPoolExecutor
 
         generation = _Generation()
         submitted_at = generation.value
-        should_stop = lambda: generation.value != submitted_at  # noqa: E731
+
+        def entrant_stop() -> bool:
+            if generation.value != submitted_at:
+                return True
+            return should_stop is not None and should_stop()
+
         try:
             pool = ThreadPoolExecutor(max_workers=self.workers)
         except (OSError, RuntimeError) as exc:
@@ -504,7 +537,9 @@ class PortfolioSolver:
                     detail=f"thread->serial: {type(exc).__name__}: {exc}",
                 )
             )
-            return self._race_serial(instance, configs, faults, resume_from)
+            return self._race_serial(
+                instance, configs, faults, resume_from, should_stop
+            )
         try:
             futures = [
                 (
@@ -514,7 +549,7 @@ class PortfolioSolver:
                         c.name,
                         instance,
                         c.options,
-                        should_stop,
+                        entrant_stop,
                         self._resume_payload(c.name, resume_from),
                         self.telemetry.enabled,
                     ),
@@ -525,6 +560,7 @@ class PortfolioSolver:
                 futures,
                 lambda: setattr(generation, "value", submitted_at + 1),
                 time_limit,
+                should_stop,
             )
         finally:
             # wait=False: a stalled entrant must not block the answer; its
@@ -540,6 +576,7 @@ class PortfolioSolver:
         faults: List[FaultRecord],
         resume_from: Optional[SearchCheckpoint] = None,
         time_limit: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Tuple[List[Dict[str, Any]], List[PortfolioConfig]]:
         """Race on the process pool, surviving worker crashes.
 
@@ -597,7 +634,16 @@ class PortfolioSolver:
                 time.sleep(self.retry.backoff(rebuilds))
                 continue
 
-            harvest = self._harvest(futures, self._bump_generation, time_limit)
+            harvest = self._harvest(
+                futures, self._bump_generation, time_limit, should_stop
+            )
+            if should_stop is not None and should_stop():
+                # External cancellation (watchdog trip, shutdown): surface
+                # whatever finished; nothing left to retry or degrade to.
+                for data in harvest.outcomes:
+                    completed[data["config"]] = data
+                self._record_entrant_faults(harvest, faults)
+                return list(completed.values()), []
             for data in harvest.outcomes:
                 completed[data["config"]] = data
             self._record_entrant_faults(harvest, faults)
@@ -674,6 +720,7 @@ class PortfolioSolver:
         futures: List[Tuple[str, Any]],
         cancel: Any,
         time_limit: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> _Harvest:
         """Wait for the first conclusive future, cancel the rest, and drain
         them (cancellation is cooperative, so the drain is normally quick)
@@ -681,7 +728,12 @@ class PortfolioSolver:
         failed; a broken pool marks the un-harvested rest as lost (they are
         retried); entrants still running past the drain grace — after a
         winner, or past the solve's own time limit — are abandoned as
-        stalled rather than allowed to block the answer."""
+        stalled rather than allowed to block the answer.
+
+        ``should_stop`` (external cancellation) is polled while waiting;
+        its trip cancels the race exactly like a winner would — pending
+        futures are cancelled, the shared generation is bumped so workers
+        unwind cooperatively, and the drain grace starts ticking."""
         harvest = _Harvest()
         pending: Dict[Any, str] = {future: name for name, future in futures}
         deadline: Optional[float] = None
@@ -692,10 +744,29 @@ class PortfolioSolver:
             timeout = None
             if deadline is not None:
                 timeout = max(0.0, deadline - time.monotonic())
+            if should_stop is not None and not cancelled:
+                # Bounded waits so the external stop hook stays responsive.
+                timeout = 0.05 if timeout is None else min(timeout, 0.05)
             done, _ = wait(
                 set(pending), timeout=timeout, return_when=FIRST_COMPLETED
             )
             if not done:
+                if (
+                    should_stop is not None
+                    and not cancelled
+                    and should_stop()
+                ):
+                    cancelled = True
+                    for future in pending:
+                        future.cancel()
+                    cancel()
+                    grace = time.monotonic() + self.retry.drain_grace
+                    deadline = (
+                        grace if deadline is None else min(deadline, grace)
+                    )
+                    continue
+                if deadline is None or time.monotonic() < deadline:
+                    continue  # bounded poll tick, not the real deadline
                 for future, name in pending.items():
                     future.cancel()
                     harvest.stalled.append(name)
@@ -744,6 +815,7 @@ class PortfolioSolver:
         "time_limit",
         "retry",
         "resume_from",
+        "should_stop",
     ),
 )
 def solve_opp_portfolio(
@@ -756,6 +828,7 @@ def solve_opp_portfolio(
     time_limit: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     resume_from: Optional[SearchCheckpoint] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
     telemetry: Optional[object] = None,
 ) -> PortfolioResult:
     """One-shot convenience wrapper around :class:`PortfolioSolver`.
@@ -766,5 +839,8 @@ def solve_opp_portfolio(
         retry=retry, telemetry=telemetry,
     ) as solver:
         return solver.solve(
-            instance, time_limit=time_limit, resume_from=resume_from
+            instance,
+            time_limit=time_limit,
+            resume_from=resume_from,
+            should_stop=should_stop,
         )

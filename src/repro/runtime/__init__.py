@@ -1,0 +1,50 @@
+"""Crash-safe batch solving runtime.
+
+The pieces, bottom-up:
+
+* :mod:`repro.runtime.manifest` — the instance streams a batch consumes
+  (JSON / JSONL / directory manifests);
+* :mod:`repro.runtime.watchdog` — per-instance wall-clock and memory
+  limits, enforced through the solver's cooperative cancellation;
+* :mod:`repro.runtime.batch` — the :class:`BatchRunner` itself: the
+  write-ahead journal state machine, checkpointed solve slices,
+  certification with quarantine, incident reports, and
+  kill-anywhere/resume semantics.
+
+Most callers want :func:`run_batch` (or ``repro-fpga batch`` on the
+command line); :mod:`repro.certify` audits the results independently.
+"""
+
+from .batch import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    INCIDENTS_NAME,
+    BatchResult,
+    BatchRunner,
+    InstanceOutcome,
+    run_batch,
+)
+from .manifest import (
+    ManifestEntry,
+    ManifestError,
+    entries_from_dicts,
+    entries_from_instances,
+    load_manifest,
+)
+from .watchdog import Watchdog, WatchdogLimits, current_rss_bytes
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "INCIDENTS_NAME",
+    "InstanceOutcome",
+    "ManifestEntry",
+    "ManifestError",
+    "Watchdog",
+    "WatchdogLimits",
+    "current_rss_bytes",
+    "entries_from_dicts",
+    "entries_from_instances",
+    "load_manifest",
+    "run_batch",
+]

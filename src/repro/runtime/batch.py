@@ -1,0 +1,645 @@
+"""The crash-safe batch solving runtime.
+
+:class:`BatchRunner` consumes a stream of manifest entries and drives each
+through the existing solver stack (sequential ``solve_opp`` or a racing
+:class:`~repro.parallel.portfolio.PortfolioSolver`) under per-instance
+wall-clock and memory watchdogs, recording **every state transition in a
+write-ahead journal** (:mod:`repro.io.journal`) before acting on it:
+
+``admitted``
+    the entry (with its full instance encoding) entered the batch;
+``running``
+    the solve started (or restarted after a resume);
+``checkpointed``
+    a solve slice expired and the search's resumable
+    :class:`~repro.core.search.SearchCheckpoint` was made durable;
+``done`` / ``failed`` / ``timed-out`` / ``memory-limited`` / ``quarantined``
+    the instance reached a terminal state (with the result, the
+    certificate payload, and the certification verdict where applicable);
+``interrupted``
+    a graceful shutdown (SIGINT/SIGTERM) cancelled the in-flight solve.
+
+Because the journal is fsync'd per record, a hard kill (SIGKILL,
+power loss) at any point loses at most one in-flight transition.
+:meth:`BatchRunner.resume` replays the journal, re-reports completed
+instances verbatim (no re-solve, no duplication), resumes in-flight
+instances from their last durable checkpoint, and starts the never-started
+remainder — so an interrupted-and-resumed batch produces the exact result
+set of an uninterrupted run.
+
+Every conclusive result is certified as it is produced
+(:mod:`repro.certify`): SAT placements re-validated by the standalone
+checker, UNSAT claims spot-rechecked on the reference kernel.  A
+certification failure *quarantines* the record with a structured incident
+report (``incidents.jsonl``) instead of crashing the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..certify import CertificationVerdict, certify_payload
+from ..core.opp import SAT, UNSAT, OPPResult, SolverOptions
+from ..core.search import SearchCheckpoint
+from ..io.journal import (
+    JOURNAL_NAME,
+    TERMINAL_KINDS,
+    JournalWriter,
+    last_record_per_instance,
+    read_journal,
+)
+from ..telemetry import coerce as _coerce_telemetry
+from .manifest import ManifestEntry, load_manifest
+from .watchdog import Watchdog, WatchdogLimits, current_rss_bytes
+
+INCIDENTS_NAME = "incidents.jsonl"
+
+#: Default wall-clock length of one solve slice between durable checkpoints.
+DEFAULT_CHECKPOINT_INTERVAL = 5.0
+
+
+class _NeverStop:
+    """Stand-in stop event when the caller provides none."""
+
+    @staticmethod
+    def is_set() -> bool:
+        return False
+
+
+@dataclass
+class InstanceOutcome:
+    """Terminal state of one batch instance (mirrors its journal record)."""
+
+    instance_id: str
+    kind: str  # one of io.journal.TERMINAL_KINDS, or "interrupted"
+    status: Optional[str] = None
+    positions: Optional[List[List[int]]] = None
+    certificate: Optional[str] = None
+    certificate_payload: Optional[Dict[str, Any]] = None
+    certification: Optional[Dict[str, Any]] = None
+    elapsed: float = 0.0
+    nodes: int = 0
+    detail: str = ""
+    resumed: bool = False
+    replayed: bool = False  # reconstructed from the journal, not re-solved
+
+    def identity(self) -> tuple:
+        """The fields the kill/resume invariant compares across runs."""
+        return (self.instance_id, self.kind, self.status, self.positions)
+
+    def record_data(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "positions": self.positions,
+            "certificate": self.certificate,
+            "certificate_payload": self.certificate_payload,
+            "certification": self.certification,
+            "elapsed": self.elapsed,
+            "nodes": self.nodes,
+            "detail": self.detail,
+            "resumed": self.resumed,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "InstanceOutcome":
+        data = record.get("data", {})
+        return cls(
+            instance_id=record["id"],
+            kind=record["kind"],
+            status=data.get("status"),
+            positions=data.get("positions"),
+            certificate=data.get("certificate"),
+            certificate_payload=data.get("certificate_payload"),
+            certification=data.get("certification"),
+            elapsed=data.get("elapsed", 0.0),
+            nodes=data.get("nodes", 0),
+            detail=data.get("detail", ""),
+            resumed=data.get("resumed", False),
+            replayed=True,
+        )
+
+
+@dataclass
+class BatchResult:
+    """What one (possibly resumed) batch run produced."""
+
+    outcomes: Dict[str, InstanceOutcome] = field(default_factory=dict)
+    interrupted: bool = False
+    journal_path: str = ""
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
+    journal_corruption: List[Any] = field(default_factory=list)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for o in self.outcomes.values() if o.kind == kind)
+
+    @property
+    def ok(self) -> bool:
+        """Every instance terminated ``done`` and nothing was interrupted."""
+        return not self.interrupted and all(
+            o.kind == "done" for o in self.outcomes.values()
+        )
+
+    def identity(self) -> List[tuple]:
+        """Order-independent result-set identity (kill/resume invariant)."""
+        return sorted(o.identity() for o in self.outcomes.values())
+
+
+class BatchRunner:
+    """Crash-safe batch solving over a write-ahead journal (module doc)."""
+
+    def __init__(
+        self,
+        out_dir: str,
+        *,
+        options: Optional[SolverOptions] = None,
+        workers: Optional[int] = None,
+        backend: str = "auto",
+        cache: Optional[Any] = None,
+        time_limit: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        checkpoint_interval: Optional[float] = DEFAULT_CHECKPOINT_INTERVAL,
+        certify: bool = True,
+        recheck_nodes: int = 200_000,
+        telemetry: Optional[Any] = None,
+        stop_event: Optional[Any] = None,
+        memory_probe: Any = current_rss_bytes,
+        fsync: bool = True,
+    ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        self.out_dir = out_dir
+        self.options = options
+        self.workers = workers
+        self.backend = backend
+        self.cache = cache
+        self.default_limits = WatchdogLimits(
+            time_limit=time_limit, memory_limit_mb=memory_limit_mb
+        )
+        self.checkpoint_interval = checkpoint_interval
+        self.certify = certify
+        self.recheck_nodes = recheck_nodes
+        self.telemetry = _coerce_telemetry(telemetry)
+        self.stop_event = stop_event if stop_event is not None else _NeverStop()
+        self.memory_probe = memory_probe
+        self.fsync = fsync
+        self.journal_path = os.path.join(out_dir, JOURNAL_NAME)
+        self.incidents_path = os.path.join(out_dir, INCIDENTS_NAME)
+        self._portfolio: Optional[Any] = None
+
+    # -- public entry points ------------------------------------------------
+
+    def run(self, entries: Sequence[ManifestEntry]) -> BatchResult:
+        """Execute a fresh batch (the journal must not already hold one)."""
+        if os.path.exists(self.journal_path):
+            existing = read_journal(self.journal_path)
+            if existing.records:
+                raise ValueError(
+                    f"{self.journal_path} already holds a batch; pass "
+                    "resume=True (CLI: --resume) to continue it"
+                )
+        os.makedirs(self.out_dir, exist_ok=True)
+        writer = JournalWriter(self.journal_path, fsync=self.fsync)
+        result = BatchResult(journal_path=self.journal_path)
+        try:
+            writer.append(
+                "batch-start",
+                data={"entries": len(entries), "workers": self.workers or 1},
+            )
+            pending = []
+            for entry in entries:
+                writer.append("admitted", entry.instance_id, entry.to_dict())
+                pending.append((entry, None))
+            self._drain(writer, pending, result)
+        finally:
+            writer.close()
+            self._close_portfolio()
+        return result
+
+    def resume(self) -> BatchResult:
+        """Replay the journal and finish what the interrupted run started."""
+        replay = read_journal(self.journal_path)
+        if not replay.records:
+            raise ValueError(
+                f"{self.journal_path} holds no replayable batch records"
+            )
+        result = BatchResult(
+            journal_path=self.journal_path,
+            journal_corruption=list(replay.corrupt),
+        )
+        writer = JournalWriter(
+            self.journal_path, start_seq=replay.last_seq, fsync=self.fsync
+        )
+        try:
+            for lineno, reason in replay.corrupt:
+                result.incidents.append(
+                    self._file_incident(
+                        writer=None,
+                        instance_id=None,
+                        kind="journal-corruption",
+                        reason=reason,
+                        context={"line": lineno},
+                    )
+                )
+            entries: Dict[str, ManifestEntry] = {}
+            checkpoints: Dict[str, Dict[str, Any]] = {}
+            order: List[str] = []
+            for record in replay.records:
+                if record["kind"] == "admitted":
+                    entry = ManifestEntry.from_dict(
+                        record["data"], default_id=record["id"]
+                    )
+                    entries[record["id"]] = entry
+                    order.append(record["id"])
+                elif record["kind"] == "checkpointed":
+                    checkpoints[record["id"]] = record["data"].get("checkpoint")
+            latest = last_record_per_instance(replay.records)
+            pending = []
+            for instance_id in order:
+                last = latest.get(instance_id)
+                if last is not None and last["kind"] in TERMINAL_KINDS:
+                    # Completed work is re-reported verbatim, never re-solved
+                    # and never duplicated.
+                    result.outcomes[instance_id] = InstanceOutcome.from_record(
+                        last
+                    )
+                    if self.telemetry.enabled:
+                        self.telemetry.counter("batch.replayed").add()
+                    continue
+                checkpoint = None
+                payload = checkpoints.get(instance_id)
+                if payload:
+                    checkpoint = SearchCheckpoint.from_dict(payload)
+                pending.append((entries[instance_id], checkpoint))
+            if pending and self.telemetry.enabled:
+                self.telemetry.counter("batch.resumed_instances").add(
+                    len(pending)
+                )
+            self._drain(writer, pending, result, resumed=True)
+        finally:
+            writer.close()
+            self._close_portfolio()
+        return result
+
+    # -- the solve loop -----------------------------------------------------
+
+    def _drain(
+        self,
+        writer: JournalWriter,
+        pending: Sequence[Any],
+        result: BatchResult,
+        resumed: bool = False,
+    ) -> None:
+        with self.telemetry.span(
+            "batch", instances=len(pending), resumed=resumed
+        ) as span:
+            if self.telemetry.enabled:
+                self.telemetry.counter("batch.instances").add(len(pending))
+            for entry, checkpoint in pending:
+                if self.stop_event.is_set():
+                    result.interrupted = True
+                    break
+                outcome = self._run_instance(writer, entry, checkpoint, resumed)
+                if outcome is None:  # interrupted mid-solve
+                    result.interrupted = True
+                    break
+                result.outcomes[entry.instance_id] = outcome
+            if result.interrupted:
+                writer.append("interrupted", data={"pending": True})
+                if self.telemetry.enabled:
+                    self.telemetry.counter("batch.interrupted").add()
+            else:
+                writer.append(
+                    "batch-complete", data={"instances": len(result.outcomes)}
+                )
+            span.set(interrupted=result.interrupted)
+
+    def _run_instance(
+        self,
+        writer: JournalWriter,
+        entry: ManifestEntry,
+        checkpoint: Optional[SearchCheckpoint],
+        resumed: bool,
+    ) -> Optional[InstanceOutcome]:
+        """Solve one instance to a terminal journal record (or ``None`` when
+        a graceful shutdown interrupted it mid-solve)."""
+        limits = WatchdogLimits(
+            time_limit=(
+                entry.time_limit
+                if entry.time_limit is not None
+                else self.default_limits.time_limit
+            ),
+            memory_limit_mb=(
+                entry.memory_limit_mb
+                if entry.memory_limit_mb is not None
+                else self.default_limits.memory_limit_mb
+            ),
+        )
+        watchdog = Watchdog(limits, memory_probe=self.memory_probe)
+
+        def should_stop() -> bool:
+            return self.stop_event.is_set() or watchdog.should_stop()
+
+        writer.append(
+            "running",
+            entry.instance_id,
+            {"resumed_from_checkpoint": checkpoint is not None},
+        )
+        started = time.monotonic()
+        nodes = 0
+        last_checkpoint_key: Optional[str] = None
+        with self.telemetry.span(
+            "batch.instance", id=entry.instance_id
+        ) as span:
+            while True:
+                slice_limit = self._slice_limit(watchdog)
+                result = self._solve_once(
+                    entry.instance, slice_limit, checkpoint, should_stop
+                )
+                nodes += result.stats.nodes
+                elapsed = time.monotonic() - started
+                if result.status in (SAT, UNSAT):
+                    outcome = self._terminalize(
+                        writer, entry, result, elapsed, nodes, resumed
+                    )
+                    break
+                if self.stop_event.is_set():
+                    # Graceful shutdown: the in-flight search position is
+                    # made durable so the resume continues instead of
+                    # restarting, then the batch stops.
+                    if result.checkpoint is not None:
+                        self._journal_checkpoint(
+                            writer, entry.instance_id, result.checkpoint
+                        )
+                    span.set(outcome="interrupted")
+                    return None
+                tripped = watchdog.check()
+                if tripped is not None:
+                    incident = self._file_incident(
+                        writer=None,
+                        instance_id=entry.instance_id,
+                        kind=tripped,
+                        reason=watchdog.detail,
+                        context={"elapsed": elapsed, "nodes": nodes},
+                    )
+                    outcome = InstanceOutcome(
+                        instance_id=entry.instance_id,
+                        kind=tripped,
+                        status="unknown",
+                        elapsed=elapsed,
+                        nodes=nodes,
+                        detail=watchdog.detail,
+                        resumed=resumed,
+                    )
+                    writer.append(tripped, entry.instance_id, outcome.record_data())
+                    self._count_outcome(tripped)
+                    break
+                if result.checkpoint is not None:
+                    key = repr(result.checkpoint.to_dict())
+                    if key != last_checkpoint_key:
+                        last_checkpoint_key = key
+                        checkpoint = result.checkpoint
+                        self._journal_checkpoint(
+                            writer, entry.instance_id, checkpoint
+                        )
+                        continue
+                    detail = (
+                        "search made no progress between checkpoint slices "
+                        f"(limit: {result.stats.limit})"
+                    )
+                else:
+                    detail = (
+                        "solver returned unknown without a resumable "
+                        f"checkpoint (limit: {result.stats.limit})"
+                    )
+                incident = self._file_incident(
+                    writer=None,
+                    instance_id=entry.instance_id,
+                    kind="failed",
+                    reason=detail,
+                    context={"elapsed": elapsed, "nodes": nodes},
+                )
+                outcome = InstanceOutcome(
+                    instance_id=entry.instance_id,
+                    kind="failed",
+                    status=result.status,
+                    elapsed=elapsed,
+                    nodes=nodes,
+                    detail=detail,
+                    resumed=resumed,
+                )
+                writer.append("failed", entry.instance_id, outcome.record_data())
+                self._count_outcome("failed")
+                break
+            span.set(outcome=outcome.kind, status=outcome.status)
+            if self.telemetry.enabled:
+                self.telemetry.histogram("batch.instance_seconds").observe(
+                    outcome.elapsed
+                )
+        return outcome
+
+    def _terminalize(
+        self,
+        writer: JournalWriter,
+        entry: ManifestEntry,
+        result: OPPResult,
+        elapsed: float,
+        nodes: int,
+        resumed: bool,
+    ) -> InstanceOutcome:
+        """Certify a conclusive result and write its terminal record."""
+        payload = result.certificate_payload(entry.instance)
+        outcome = InstanceOutcome(
+            instance_id=entry.instance_id,
+            kind="done",
+            status=result.status,
+            positions=payload["positions"],
+            certificate=result.certificate,
+            certificate_payload=payload,
+            elapsed=elapsed,
+            nodes=nodes,
+            resumed=resumed,
+        )
+        if self.certify:
+            verdict = certify_payload(
+                payload,
+                recheck_nodes=self.recheck_nodes,
+                recheck_time_limit=None,
+            )
+            outcome.certification = verdict.to_dict()
+            if verdict.refuted:
+                incident = self._file_incident(
+                    writer=None,
+                    instance_id=entry.instance_id,
+                    kind="certification-failure",
+                    reason=verdict.reason,
+                    context={
+                        "violations": verdict.violations,
+                        "status": result.status,
+                    },
+                )
+                outcome.kind = "quarantined"
+                outcome.detail = verdict.reason
+                writer.append(
+                    "quarantined", entry.instance_id, outcome.record_data()
+                )
+                self._count_outcome("quarantined")
+                return outcome
+        writer.append("done", entry.instance_id, outcome.record_data())
+        self._count_outcome("done")
+        return outcome
+
+    def _journal_checkpoint(
+        self, writer: JournalWriter, instance_id: str, checkpoint: SearchCheckpoint
+    ) -> None:
+        writer.append(
+            "checkpointed",
+            instance_id,
+            {"checkpoint": checkpoint.to_dict()},
+        )
+        if self.telemetry.enabled:
+            self.telemetry.counter("batch.checkpoints").add()
+
+    def _slice_limit(self, watchdog: Watchdog) -> Optional[float]:
+        """The wall-clock limit of the next solve slice: the checkpoint
+        interval clipped to the remaining watchdog budget."""
+        remaining = watchdog.remaining()
+        if self.checkpoint_interval is None:
+            return remaining
+        if remaining is None:
+            return self.checkpoint_interval
+        return min(self.checkpoint_interval, remaining)
+
+    def _solve_once(
+        self,
+        instance: Any,
+        time_limit: Optional[float],
+        resume_from: Optional[SearchCheckpoint],
+        should_stop: Any,
+    ) -> OPPResult:
+        if self.workers is not None and self.workers > 1:
+            return self._ensure_portfolio().solve(
+                instance,
+                time_limit=time_limit,
+                resume_from=resume_from,
+                should_stop=should_stop,
+            ).to_opp_result()
+        from dataclasses import replace as _replace
+
+        from ..core.opp import solve_opp
+
+        options = self.options or SolverOptions()
+        if time_limit is not None:
+            options = _replace(
+                options,
+                time_limit=(
+                    time_limit
+                    if options.time_limit is None
+                    else min(time_limit, options.time_limit)
+                ),
+            )
+        return solve_opp(
+            instance,
+            options=options,
+            cache=self.cache,
+            should_stop=should_stop,
+            resume_from=resume_from,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
+        )
+
+    def _ensure_portfolio(self) -> Any:
+        if self._portfolio is None:
+            from ..parallel.portfolio import PortfolioSolver
+
+            self._portfolio = PortfolioSolver(
+                workers=self.workers,
+                cache=self.cache,
+                backend=self.backend,
+                telemetry=self.telemetry,
+            )
+        return self._portfolio
+
+    def _close_portfolio(self) -> None:
+        if self._portfolio is not None:
+            self._portfolio.close()
+            self._portfolio = None
+
+    # -- incidents ----------------------------------------------------------
+
+    def _file_incident(
+        self,
+        writer: Optional[JournalWriter],
+        instance_id: Optional[str],
+        kind: str,
+        reason: str,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Append one structured incident report (see docs/robustness.md)."""
+        import json
+
+        incident = {
+            "v": 1,
+            "instance_id": instance_id,
+            "kind": kind,
+            "reason": reason,
+            "context": context or {},
+            "wall_time": time.time(),
+        }
+        try:
+            os.makedirs(self.out_dir, exist_ok=True)
+            with open(self.incidents_path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(incident, sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        except OSError:
+            pass  # incidents are best-effort; the journal stays authoritative
+        if self.telemetry.enabled:
+            self.telemetry.counter("batch.incidents").add()
+            self.telemetry.event(
+                "batch.incident", kind=kind, id=instance_id
+            )
+        return incident
+
+    def _count_outcome(self, kind: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                f"batch.{kind.replace('-', '_')}"
+            ).add()
+
+
+def run_batch(
+    manifest: Any,
+    out_dir: str,
+    *,
+    resume: bool = False,
+    **kwargs: Any,
+) -> BatchResult:
+    """One-call batch facade.
+
+    ``manifest`` is a path (JSON / JSONL / directory), a list of
+    :class:`~repro.runtime.manifest.ManifestEntry`, or a list of
+    :class:`~repro.core.boxes.PackingInstance`; with ``resume=True`` the
+    manifest is ignored (the journal under ``out_dir`` already carries every
+    admitted instance) and the interrupted batch is finished instead.
+    Remaining keywords go to :class:`BatchRunner`.
+    """
+    runner = BatchRunner(out_dir, **kwargs)
+    if resume:
+        return runner.resume()
+    if isinstance(manifest, str):
+        entries = load_manifest(manifest)
+    else:
+        entries = list(manifest)
+        if entries and not isinstance(entries[0], ManifestEntry):
+            from .manifest import entries_from_instances
+
+            entries = entries_from_instances(entries)
+    return runner.run(entries)

@@ -1,0 +1,181 @@
+"""Batch manifests: the instance streams the batch runtime consumes.
+
+Three on-disk shapes are accepted, all built on the existing instance JSON
+encoding (:func:`repro.io.serialize.instance_to_dict`):
+
+* a ``.json`` file holding either a list of entries or
+  ``{"instances": [...]}``;
+* a ``.jsonl`` file with one entry per line;
+* a directory of ``*.json`` instance files (the file stem is the id).
+
+An *entry* is either a bare instance dict, or a wrapper::
+
+    {"id": "codec-17", "instance": {...}, "time_limit": 30.0,
+     "memory_limit_mb": 512}
+
+Ids default to ``inst-0007``-style counters and must be unique — the
+journal keys every state transition on them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.boxes import PackingInstance
+from ..io.serialize import instance_from_dict, instance_to_dict
+
+
+class ManifestError(ValueError):
+    """A manifest that cannot be loaded (file, JSON shape, duplicate ids)."""
+
+
+@dataclass
+class ManifestEntry:
+    """One admitted unit of work: an instance plus its per-instance limits."""
+
+    instance_id: str
+    instance: PackingInstance
+    time_limit: Optional[float] = None
+    memory_limit_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.instance_id:
+            raise ManifestError("manifest entries need a non-empty id")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ManifestError(
+                f"time_limit must be positive, got {self.time_limit}"
+            )
+        if self.memory_limit_mb is not None and self.memory_limit_mb <= 0:
+            raise ManifestError(
+                f"memory_limit_mb must be positive, got {self.memory_limit_mb}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The journal encoding of this entry (admitted records carry it, so
+        a resume needs no manifest file)."""
+        return {
+            "id": self.instance_id,
+            "instance": instance_to_dict(self.instance),
+            "time_limit": self.time_limit,
+            "memory_limit_mb": self.memory_limit_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], default_id: str) -> "ManifestEntry":
+        if "instance" in data:
+            instance_data = data["instance"]
+            entry_id = data.get("id", default_id)
+            time_limit = data.get("time_limit")
+            memory_limit = data.get("memory_limit_mb")
+        else:
+            instance_data = data
+            entry_id = data.get("id", default_id)
+            time_limit = None
+            memory_limit = None
+        try:
+            instance = instance_from_dict(instance_data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(
+                f"entry {entry_id!r} is not a valid instance: {exc}"
+            ) from exc
+        return cls(
+            instance_id=str(entry_id),
+            instance=instance,
+            time_limit=time_limit,
+            memory_limit_mb=memory_limit,
+        )
+
+
+def _check_unique(entries: Sequence[ManifestEntry]) -> List[ManifestEntry]:
+    seen: Dict[str, int] = {}
+    for entry in entries:
+        seen[entry.instance_id] = seen.get(entry.instance_id, 0) + 1
+    duplicates = sorted(k for k, count in seen.items() if count > 1)
+    if duplicates:
+        raise ManifestError(f"duplicate manifest ids: {duplicates}")
+    return list(entries)
+
+
+def entries_from_dicts(items: Iterable[Dict[str, Any]]) -> List[ManifestEntry]:
+    entries = [
+        ManifestEntry.from_dict(item, default_id=f"inst-{i:04d}")
+        for i, item in enumerate(items)
+    ]
+    return _check_unique(entries)
+
+
+def entries_from_instances(
+    instances: Iterable[PackingInstance],
+) -> List[ManifestEntry]:
+    """Wrap in-memory instances as manifest entries (API convenience)."""
+    return _check_unique(
+        [
+            ManifestEntry(instance_id=f"inst-{i:04d}", instance=inst)
+            for i, inst in enumerate(instances)
+        ]
+    )
+
+
+def load_manifest(path: str) -> List[ManifestEntry]:
+    """Load a manifest from a JSON file, a JSONL file, or a directory."""
+    if os.path.isdir(path):
+        entries = []
+        names = sorted(
+            name for name in os.listdir(path) if name.endswith(".json")
+        )
+        if not names:
+            raise ManifestError(f"manifest directory {path!r} has no *.json")
+        for name in names:
+            data = _load_json(os.path.join(path, name))
+            if not isinstance(data, dict):
+                raise ManifestError(f"{name}: expected a JSON object")
+            data.setdefault("id", os.path.splitext(name)[0])
+            entries.append(
+                ManifestEntry.from_dict(data, default_id=data["id"])
+            )
+        return _check_unique(entries)
+    if path.endswith(".jsonl"):
+        items = []
+        for lineno, line in enumerate(_load_lines(path), start=1):
+            if not line.strip():
+                continue
+            try:
+                items.append(json.loads(line))
+            except ValueError as exc:
+                raise ManifestError(
+                    f"{path}:{lineno}: unparseable JSON: {exc}"
+                ) from exc
+        return entries_from_dicts(items)
+    data = _load_json(path)
+    if isinstance(data, dict) and "instances" in data:
+        data = data["instances"]
+    if isinstance(data, dict):
+        # A single bare instance file is a one-entry manifest.
+        data = [data]
+    if not isinstance(data, list):
+        raise ManifestError(
+            f"manifest {path!r} must be a list, an object with 'instances', "
+            "or a single instance object"
+        )
+    return entries_from_dicts(data)
+
+
+def _load_json(path: str) -> Any:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise ManifestError(f"malformed manifest {path!r}: {exc}") from exc
+
+
+def _load_lines(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read().splitlines()
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest {path!r}: {exc}") from exc

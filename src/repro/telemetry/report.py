@@ -62,6 +62,17 @@ def summarize(telemetry: Any) -> Dict[str, Any]:
         "entrant_retries": counters.get("portfolio.retries", 0),
         "entrants": counters.get("portfolio.entrants", 0),
         "faults": faults,
+        "batch_instances": counters.get("batch.instances", 0),
+        "batch_outcomes": {
+            kind: counters.get(f"batch.{kind.replace('-', '_')}", 0)
+            for kind in (
+                "done", "failed", "timed-out", "memory-limited", "quarantined",
+            )
+            if counters.get(f"batch.{kind.replace('-', '_')}", 0)
+        },
+        "batch_replayed": counters.get("batch.replayed", 0),
+        "batch_checkpoints": counters.get("batch.checkpoints", 0),
+        "batch_incidents": counters.get("batch.incidents", 0),
         "spans": dict(span_names),
     }
 
@@ -111,4 +122,24 @@ def render(telemetry: Any) -> str:
     if s["faults"]:
         kinds = ", ".join(f"{k}: {v}" for k, v in sorted(s["faults"].items()))
         lines.append(f"faults survived:    {kinds}")
+    if s["batch_instances"]:
+        outcomes = ", ".join(
+            f"{k}: {v}" for k, v in sorted(s["batch_outcomes"].items())
+        )
+        lines.append(
+            f"batch:              {s['batch_instances']} instances"
+            f"  ({outcomes or 'no terminal outcomes'}"
+            + (f", replayed: {s['batch_replayed']}" if s["batch_replayed"] else "")
+            + (
+                f", checkpoints: {s['batch_checkpoints']}"
+                if s["batch_checkpoints"]
+                else ""
+            )
+            + (
+                f", incidents: {s['batch_incidents']}"
+                if s["batch_incidents"]
+                else ""
+            )
+            + ")"
+        )
     return "\n".join(lines)

@@ -98,3 +98,46 @@ class TestRaceCancellation:
             # Stopped at a poll boundary: the 64-node window held.  (0 means
             # the bump won the startup race and the loser never searched.)
             assert loser.nodes % 64 == 0
+
+
+class TestExternalCancellation:
+    """The ``should_stop`` hook threaded through the portfolio by the batch
+    runtime: an external signal (a watchdog, a SIGINT handler) must stop
+    the whole race — not just a losing entrant — promptly and mark the
+    result ``cancelled`` rather than pretending the budget ran out."""
+
+    def _slow_only_configs(self):
+        return [
+            PortfolioConfig(
+                "grind",
+                SolverOptions(
+                    use_bounds=False,
+                    use_heuristics=False,
+                    branching=BranchingOptions(strategy="static"),
+                ),
+            ),
+        ]
+
+    def test_pre_tripped_stop_short_circuits(self):
+        with PortfolioSolver(workers=2, backend="serial") as solver:
+            result = solver.solve(_race_instance(), should_stop=lambda: True)
+        assert result.status == "unknown"
+        assert result.to_opp_result().limit == "cancelled"
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_mid_race_stop_beats_solo_runtime(self, backend):
+        deadline = time.monotonic() + 0.2
+        start = time.monotonic()
+        with PortfolioSolver(
+            configs=self._slow_only_configs(), workers=1, backend=backend
+        ) as solver:
+            result = solver.solve(
+                _race_instance(),
+                should_stop=lambda: time.monotonic() >= deadline,
+            )
+        elapsed = time.monotonic() - start
+        # The grind entrant alone needs seconds; the stop signal must end
+        # the race well before that.
+        assert elapsed < TestRaceCancellation.SOLO_LOSER_SECONDS
+        assert result.status == "unknown"
+        assert result.to_opp_result().limit == "cancelled"

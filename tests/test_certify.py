@@ -1,0 +1,261 @@
+"""The independent certification layer.
+
+The checker's entire value is that it disagrees with a wrong certificate,
+so most tests here are *mutation* tests: take a valid certificate, break it
+in one specific way, and assert the checker notices.  A checker validated
+only on good inputs is decoration.
+"""
+
+import random
+
+import pytest
+
+from repro.certify import (
+    CertificationVerdict,
+    certificate_is_valid,
+    certify_batch_dir,
+    certify_payload,
+    check_certificate,
+)
+from repro.core.boxes import make_instance
+from repro.core.opp import solve_opp
+from repro.instances import random_feasible_instance
+
+
+def _solved_cert(instance):
+    result = solve_opp(instance)
+    assert result.status == "sat"
+    return result.certificate_payload(instance)
+
+
+def _simple_cert():
+    instance = make_instance([(2, 2, 1), (2, 2, 1)], (4, 4, 2), [(0, 1)])
+    return _solved_cert(instance)
+
+
+class TestCheckerIndependence:
+    def test_checker_imports_no_solver_modules(self):
+        """The auditor must not share data structures with the audited: the
+        module's top level (where the placement checker lives) may not
+        import the packing model, the search engine, or the portfolio.
+        Only the UNSAT *recheck* path may, lazily, inside its function."""
+        import ast
+        import inspect
+
+        import repro.certify as certify_module
+
+        tree = ast.parse(inspect.getsource(certify_module))
+        module_level_imports = [
+            node
+            for node in ast.iter_child_nodes(tree)
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+        ]
+        for node in module_level_imports:
+            module = getattr(node, "module", "") or ""
+            names = [a.name for a in node.names]
+            banned = ("core", "parallel", "graphs", "heuristics")
+            assert not any(module.startswith(b) for b in banned), (
+                f"certify imports solver module {module!r} at top level"
+            )
+            assert not any(
+                n.startswith(f"repro.{b}") for n in names for b in banned
+            ), names
+
+
+class TestSatCertificates:
+    def test_valid_certificate_passes(self):
+        assert check_certificate(_simple_cert()) == []
+        assert certificate_is_valid(_simple_cert())
+
+    def test_random_solved_instances_certify(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            instance, _ = random_feasible_instance(rng, (5, 5, 5), 4)
+            cert = _solved_cert(instance)
+            verdict = certify_payload(cert)
+            assert verdict.certified, verdict.reason
+
+    # -- mutation tests: every broken certificate must be rejected ---------
+
+    def test_mutation_overlap(self):
+        cert = _simple_cert()
+        cert["positions"][1] = list(cert["positions"][0])
+        problems = check_certificate(cert)
+        assert any("overlap" in p for p in problems)
+
+    def test_mutation_out_of_bounds(self):
+        cert = _simple_cert()
+        cert["positions"][0][0] = cert["container"][0]
+        problems = check_certificate(cert)
+        assert any("container" in p for p in problems)
+
+    def test_mutation_negative_anchor(self):
+        cert = _simple_cert()
+        cert["positions"][0][1] = -1
+        assert check_certificate(cert)
+
+    def test_mutation_precedence_violation(self):
+        cert = _simple_cert()
+        axis = cert["time_axis"]
+        # Swap the two boxes along time: 0 must precede 1.
+        cert["positions"][0][axis], cert["positions"][1][axis] = (
+            cert["positions"][1][axis],
+            cert["positions"][0][axis],
+        )
+        if cert["positions"][0][axis] == cert["positions"][1][axis]:
+            pytest.skip("witness stacked both boxes at one time")
+        problems = check_certificate(cert)
+        assert any("precedence" in p for p in problems)
+
+    def test_mutation_transitive_precedence_violation(self):
+        """A closed chain a->b->c must also enforce a->c."""
+        instance = make_instance(
+            [(1, 1, 1), (1, 1, 1), (1, 1, 1)], (3, 3, 3),
+            [(0, 1), (1, 2)],
+        )
+        cert = _solved_cert(instance)
+        axis = cert["time_axis"]
+        cert["precedence"] = [[0, 1], [1, 2]]  # reduced arcs only
+        cert["positions"][0][axis] = 2
+        cert["positions"][1][axis] = 0
+        cert["positions"][2][axis] = 1
+        problems = check_certificate(cert)
+        assert any("precedence" in p for p in problems)
+
+    def test_mutation_truncated_positions(self):
+        cert = _simple_cert()
+        cert["positions"] = cert["positions"][:-1]
+        assert check_certificate(cert)
+
+    def test_mutation_missing_positions(self):
+        cert = _simple_cert()
+        cert["positions"] = None
+        assert check_certificate(cert)
+
+    def test_mutation_nonpositive_width(self):
+        cert = _simple_cert()
+        cert["boxes"][0][0] = 0
+        assert check_certificate(cert)
+
+    def test_mutation_bad_arc_index(self):
+        cert = _simple_cert()
+        cert["precedence"] = [[0, 99]]
+        assert check_certificate(cert)
+
+    def test_mutation_malformed_shape(self):
+        assert check_certificate({"status": "sat"})
+
+
+class TestUnsatRecheck:
+    def _unsat_cert(self):
+        instance = make_instance([(4, 4, 4), (4, 4, 4)], (4, 4, 4))
+        result = solve_opp(instance)
+        assert result.status == "unsat"
+        return result.certificate_payload(instance)
+
+    def test_agreeing_recheck_certifies(self):
+        verdict = certify_payload(self._unsat_cert())
+        assert verdict.certified
+        assert verdict.method == "reference-recheck"
+
+    def test_recheck_can_be_disabled(self):
+        verdict = certify_payload(self._unsat_cert(), recheck=False)
+        assert verdict.verdict == "inconclusive"
+        assert verdict.method == "skipped"
+
+    def test_exhausted_budget_is_inconclusive(self):
+        # An instance neither the bounds nor the heuristic stage settles
+        # (verified: both come back empty), so the recheck must search —
+        # and a 0-node budget exhausts before the first node.
+        instance = make_instance(
+            [
+                (4, 4, 2), (3, 1, 1), (3, 3, 1),
+                (1, 2, 1), (4, 4, 1), (1, 2, 1),
+            ],
+            (4, 4, 4),
+            [(3, 4), (5, 4)],
+        )
+        cert = solve_opp(instance).certificate_payload(instance)
+        cert["status"] = "unsat"  # force the recheck path
+        cert["positions"] = None
+        verdict = certify_payload(cert, recheck_nodes=0)
+        assert verdict.verdict == "inconclusive"
+        assert "budget" in verdict.reason
+
+    def test_false_unsat_claim_is_refuted(self):
+        instance = make_instance([(2, 2, 2), (2, 2, 2)], (4, 4, 4))
+        result = solve_opp(instance)
+        assert result.status == "sat"
+        cert = result.certificate_payload(instance)
+        cert["status"] = "unsat"
+        cert["positions"] = None
+        verdict = certify_payload(cert)
+        assert verdict.refuted
+        assert "feasible placement" in verdict.reason
+
+    def test_other_statuses_carry_no_claim(self):
+        verdict = certify_payload({"status": "unknown"})
+        assert verdict.verdict == "inconclusive"
+
+
+class TestVerdictRoundTrip:
+    def test_to_from_dict(self):
+        verdict = CertificationVerdict(
+            verdict="refuted", method="checker", reason="r", violations=["v"]
+        )
+        again = CertificationVerdict.from_dict(verdict.to_dict())
+        assert again == verdict
+
+
+class TestBatchAudit:
+    def test_certify_batch_dir(self, tmp_path):
+        from repro.runtime import ManifestEntry, run_batch
+
+        entries = [
+            ManifestEntry(
+                "sat-1", make_instance([(2, 2, 2), (2, 2, 2)], (4, 4, 4))
+            ),
+            ManifestEntry(
+                "unsat-1", make_instance([(4, 4, 4), (4, 4, 4)], (4, 4, 4))
+            ),
+        ]
+        run_batch(entries, str(tmp_path), fsync=False)
+        audit = certify_batch_dir(str(tmp_path))
+        assert sorted(audit.certified) == ["sat-1", "unsat-1"]
+        assert audit.ok
+        assert not audit.skipped
+
+    def test_tampered_journal_result_is_refuted(self, tmp_path):
+        """Corrupting a recorded witness must be caught by the offline audit
+        — this is the end-to-end reason the certificate payload restates
+        the instance instead of trusting the journal's surroundings."""
+        import json
+
+        from repro.io.journal import (
+            JOURNAL_NAME,
+            JournalWriter,
+            read_journal,
+        )
+        from repro.runtime import ManifestEntry, run_batch
+
+        entries = [
+            ManifestEntry(
+                "sat-1", make_instance([(2, 2, 2), (2, 2, 2)], (4, 4, 4))
+            )
+        ]
+        run_batch(entries, str(tmp_path), fsync=False)
+        journal = tmp_path / JOURNAL_NAME
+        replay = read_journal(str(journal))
+        journal.unlink()
+        with JournalWriter(str(journal), fsync=False) as writer:
+            for record in replay.records:
+                if record["kind"] == "done":
+                    payload = json.loads(
+                        json.dumps(record["data"]["certificate_payload"])
+                    )
+                    payload["positions"][1] = payload["positions"][0]
+                    record["data"]["certificate_payload"] = payload
+                writer.append(record["kind"], record["id"], record["data"])
+        audit = certify_batch_dir(str(tmp_path))
+        assert audit.refuted == ["sat-1"]
+        assert not audit.ok

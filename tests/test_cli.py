@@ -321,3 +321,70 @@ class TestTelemetryFlags:
     def test_no_flags_no_telemetry_output(self, capsys):
         assert main(["bmp", "@fir2", "--time", "3"]) == EXIT_OK
         assert "telemetry summary" not in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def _manifest(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"id": "s", "instance": SAT_INSTANCE},
+                    {"id": "u", "instance": UNSAT_INSTANCE},
+                ]
+            )
+        )
+        return str(path)
+
+    def test_batch_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "batch"
+        code = main(["batch", self._manifest(tmp_path), "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "s: done (sat" in captured
+        assert "u: done (unsat" in captured
+        assert "2 done" in captured
+        assert (out / "journal.jsonl").exists()
+
+    def test_batch_resume_conflicts_with_manifest(self, tmp_path, capsys):
+        code = main(
+            [
+                "batch", self._manifest(tmp_path),
+                "--out", str(tmp_path / "b"), "--resume",
+            ]
+        )
+        assert code == EXIT_INPUT
+        assert "resume" in capsys.readouterr().err
+
+    def test_batch_needs_manifest_or_resume(self, tmp_path, capsys):
+        assert main(["batch", "--out", str(tmp_path / "b")]) == EXIT_INPUT
+
+    def test_batch_resume_of_finished_batch(self, tmp_path, capsys):
+        out = tmp_path / "batch"
+        assert main(
+            ["batch", self._manifest(tmp_path), "--out", str(out)]
+        ) == EXIT_OK
+        capsys.readouterr()
+        assert main(["batch", "--resume", "--out", str(out)]) == EXIT_OK
+        assert "2 done" in capsys.readouterr().out
+
+    def test_batch_missing_manifest_file_exits_4(self, tmp_path, capsys):
+        code = main(
+            ["batch", str(tmp_path / "nope.json"), "--out", str(tmp_path / "b")]
+        )
+        assert code == EXIT_INPUT
+
+    def test_certify_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "batch"
+        assert main(
+            ["batch", self._manifest(tmp_path), "--out", str(out)]
+        ) == EXIT_OK
+        capsys.readouterr()
+        assert main(["certify", str(out)]) == EXIT_OK
+        captured = capsys.readouterr().out
+        assert "s: certified" in captured
+        assert "u: certified" in captured
+
+    def test_certify_without_journal_exits_4(self, tmp_path, capsys):
+        assert main(["certify", str(tmp_path)]) == EXIT_INPUT
+        assert "journal" in capsys.readouterr().err

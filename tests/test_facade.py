@@ -224,8 +224,13 @@ class TestPublicApiSnapshot:
             "ResultCache",
             "PortfolioSolver",
             "Telemetry",
+            "BatchRunner",
+            "run_batch",
+            "certify_batch_dir",
+            "certify_payload",
             "api",
             "baselines",
+            "certify",
             "core",
             "fpga",
             "graphs",
@@ -233,6 +238,7 @@ class TestPublicApiSnapshot:
             "instances",
             "io",
             "parallel",
+            "runtime",
             "telemetry",
             "__version__",
         ]

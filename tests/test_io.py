@@ -108,3 +108,119 @@ class TestReports:
         )
         text = pareto_report(front, "solid")
         assert "32x32" in text and "(solid)" in text
+
+
+class TestOPPResultRoundTrip:
+    """Property tests for the full-result codec: every runtime field —
+    faults, checkpoint, trace — must survive a round trip byte-identically,
+    because the batch journal persists results through exactly this path."""
+
+    @staticmethod
+    def _result_strategy():
+        from hypothesis import strategies as st
+
+        from repro.core.opp import OPPResult
+        from repro.core.search import FaultRecord, SearchCheckpoint, SearchStats
+
+        text = st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12,
+        )
+        faults = st.builds(
+            FaultRecord,
+            kind=st.sampled_from(
+                ["injected", "pool_broken", "entrant_error", "entrant_stalled"]
+            ),
+            detail=text,
+            entrant=st.one_of(st.none(), text),
+            attempt=st.integers(0, 3),
+        )
+        checkpoints = st.builds(
+            SearchCheckpoint,
+            decisions=st.lists(
+                st.tuples(
+                    st.integers(0, 2),
+                    st.integers(0, 9),
+                    st.integers(0, 9),
+                    st.integers(-1, 1),
+                ),
+                max_size=6,
+            ),
+            nodes=st.integers(0, 10_000),
+            fingerprint=text,
+            entrant=st.one_of(st.none(), text),
+        )
+        stats = st.builds(
+            SearchStats,
+            nodes=st.integers(0, 10_000),
+            conflicts=st.integers(0, 100),
+            leaves=st.integers(0, 100),
+            elapsed=st.floats(0, 10, allow_nan=False),
+            limit=st.one_of(
+                st.none(), st.sampled_from(["time limit", "node limit"])
+            ),
+            faults=st.integers(0, 5),
+        )
+        trace = st.one_of(
+            st.none(),
+            st.fixed_dictionaries(
+                {
+                    "spans": st.lists(
+                        st.fixed_dictionaries({"name": text}), max_size=3
+                    ),
+                    "metrics": st.dictionaries(text, st.integers(), max_size=3),
+                }
+            ),
+        )
+        return st.builds(
+            OPPResult,
+            status=st.sampled_from(["sat", "unsat", "unknown"]),
+            stage=st.sampled_from(["search", "bounds", "heuristic"]),
+            certificate=st.one_of(st.none(), text),
+            stats=stats,
+            faults=st.lists(faults, max_size=4),
+            checkpoint=st.one_of(st.none(), checkpoints),
+            trace=trace,
+        )
+
+    def test_round_trip_is_byte_identical(self):
+        import json
+
+        from hypothesis import given, settings
+
+        from repro.io import opp_result_from_dict, opp_result_to_dict
+
+        @settings(max_examples=80, deadline=None)
+        @given(result=self._result_strategy())
+        def check(result):
+            encoded = opp_result_to_dict(result)
+            first = json.dumps(encoded, sort_keys=True)
+            reloaded = opp_result_from_dict(json.loads(first))
+            second = json.dumps(opp_result_to_dict(reloaded), sort_keys=True)
+            assert first == second
+
+        check()
+
+    def test_round_trip_with_real_placement_and_live_trace(self):
+        import json
+
+        from repro.core.opp import solve_opp
+        from repro.io import opp_result_from_dict, opp_result_to_dict
+        from repro.telemetry import Telemetry
+
+        rng = random.Random(5)
+        inst, _ = random_feasible_instance(rng, (4, 4, 4), 4)
+        telemetry = Telemetry()
+        result = solve_opp(inst, telemetry=telemetry)
+        result.trace = telemetry  # live telemetry flattens on encode
+        assert result.status == "sat"
+
+        encoded = opp_result_to_dict(result)
+        first = json.dumps(encoded, sort_keys=True)
+        reloaded = opp_result_from_dict(json.loads(first))
+        assert reloaded.placement.positions == result.placement.positions
+        assert [f.to_dict() for f in reloaded.faults] == [
+            f.to_dict() for f in result.faults
+        ]
+        second = json.dumps(opp_result_to_dict(reloaded), sort_keys=True)
+        assert first == second

@@ -1,0 +1,152 @@
+"""The write-ahead journal: durability, checksums, and replay semantics.
+
+The journal is what makes the batch runtime crash-safe, so its failure
+modes are the interesting part: torn tails from a hard kill, corrupted
+records mid-file, sequence regressions from concurrent writers.  None of
+them may lose intact records or crash the reader.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.io.journal import (
+    JOURNAL_NAME,
+    RECORD_KINDS,
+    TERMINAL_KINDS,
+    JournalError,
+    JournalWriter,
+    decode_record,
+    encode_record,
+    last_record_per_instance,
+    read_journal,
+)
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        line = encode_record(3, "done", "inst-1", {"status": "sat"})
+        record = decode_record(line)
+        assert record["seq"] == 3
+        assert record["kind"] == "done"
+        assert record["id"] == "inst-1"
+        assert record["data"] == {"status": "sat"}
+
+    def test_batch_level_record_has_no_id(self):
+        record = decode_record(encode_record(0, "batch-start"))
+        assert record["id"] is None
+        assert record["data"] == {}
+
+    def test_unknown_kind_rejected_at_encode(self):
+        with pytest.raises(JournalError):
+            encode_record(0, "no-such-kind")
+
+    def test_tampered_payload_rejected(self):
+        line = encode_record(1, "done", "a", {"status": "sat"})
+        envelope = json.loads(line)
+        envelope["data"]["status"] = "unsat"
+        with pytest.raises(JournalError):
+            decode_record(json.dumps(envelope))
+
+    def test_garbage_rejected(self):
+        for bad in ("", "not json", '{"v": 99}', '["a", "list"]'):
+            with pytest.raises(JournalError):
+                decode_record(bad)
+
+    def test_terminal_kinds_are_kinds(self):
+        assert set(TERMINAL_KINDS) <= set(RECORD_KINDS)
+
+
+class TestJournalWriter:
+    def test_appends_are_durable_and_ordered(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with JournalWriter(str(path)) as writer:
+            writer.append("batch-start")
+            writer.append("admitted", "a", {"n": 1})
+            writer.append("done", "a", {"status": "sat"})
+        result = read_journal(str(path))
+        assert [r["kind"] for r in result.records] == [
+            "batch-start", "admitted", "done",
+        ]
+        assert [r["seq"] for r in result.records] == [1, 2, 3]
+        assert not result.corrupt
+        assert not result.torn_tail
+        assert result.last_seq == 3
+
+    def test_seq_continues_across_writers(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with JournalWriter(str(path)) as writer:
+            writer.append("batch-start")
+        replay = read_journal(str(path))
+        with JournalWriter(str(path), start_seq=replay.last_seq) as writer:
+            writer.append("admitted", "a")
+        result = read_journal(str(path))
+        assert [r["seq"] for r in result.records] == [1, 2]
+
+
+class TestJournalReplay:
+    def _write(self, path, lines):
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / JOURNAL_NAME)
+        good = encode_record(1, "admitted", "a")
+        torn = encode_record(2, "done", "a", {"status": "sat"})[:-10]
+        self._write(path, [good, torn])
+        result = read_journal(path)
+        assert [r["seq"] for r in result.records] == [1]
+        assert result.torn_tail
+        assert not result.corrupt  # a torn tail is expected after SIGKILL
+
+    def test_mid_file_corruption_skipped_and_reported(self, tmp_path):
+        path = str(tmp_path / JOURNAL_NAME)
+        lines = [
+            encode_record(1, "admitted", "a"),
+            "garbage-not-json",
+            encode_record(3, "done", "a", {"status": "sat"}),
+        ]
+        self._write(path, lines)
+        result = read_journal(path)
+        assert [r["seq"] for r in result.records] == [1, 3]
+        assert len(result.corrupt) == 1
+        assert result.corrupt[0][0] == 2  # 1-based line number
+
+    def test_sequence_regression_reported(self, tmp_path):
+        path = str(tmp_path / JOURNAL_NAME)
+        lines = [
+            encode_record(5, "admitted", "a"),
+            encode_record(2, "running", "a"),  # a second writer regressed seq
+            encode_record(6, "done", "a", {"status": "sat"}),
+        ]
+        self._write(path, lines)
+        result = read_journal(path)
+        assert [r["seq"] for r in result.records] == [5, 6]
+        assert len(result.corrupt) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        result = read_journal(str(tmp_path / "nope.jsonl"))
+        assert result.records == []
+        assert result.last_seq == 0
+
+    def test_last_record_per_instance(self):
+        records = [
+            decode_record(encode_record(1, "batch-start")),
+            decode_record(encode_record(2, "admitted", "a")),
+            decode_record(encode_record(3, "running", "a")),
+            decode_record(encode_record(4, "admitted", "b")),
+            decode_record(encode_record(5, "done", "a", {"status": "sat"})),
+        ]
+        latest = last_record_per_instance(records)
+        assert latest["a"]["kind"] == "done"
+        assert latest["b"]["kind"] == "admitted"
+        assert None not in latest  # batch-level records are not instances
+
+    def test_fsync_can_be_disabled_for_tests(self, tmp_path):
+        path = str(tmp_path / JOURNAL_NAME)
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append("batch-start")
+        assert os.path.exists(path)
+        assert len(read_journal(path).records) == 1

@@ -229,3 +229,40 @@ def test_bmp_resweep_hits_cache():
 def test_cache_rejects_nonpositive_capacity():
     with pytest.raises(ValueError):
         ResultCache(capacity=0)
+
+
+def test_quarantine_directory_is_bounded(tmp_path):
+    """The quarantine dir is a post-mortem buffer, not a landfill: beyond
+    ``quarantine_capacity`` the oldest entries are evicted (by mtime) and
+    every eviction is counted."""
+    import os
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    cache = ResultCache(disk_path=str(tmp_path), quarantine_capacity=3)
+    cache.instrument(telemetry)
+    qdir = tmp_path / "quarantine"
+
+    for i in range(7):
+        bad = tmp_path / f"{i:016x}deadbeef.json"
+        bad.write_text("not json at all {")
+        # Distinct mtimes make the LRU order deterministic.
+        stamp = 1_000_000_000 + i
+        os.utime(bad, (stamp, stamp))
+        cache._quarantine(str(bad), "unparseable JSON")
+
+    survivors = sorted(p.name for p in qdir.iterdir())
+    assert len(survivors) == 3
+    # The three *newest* corpses survive; the four oldest were evicted.
+    assert survivors == sorted(f"{i:016x}deadbeef.json" for i in (4, 5, 6))
+    assert cache.stats.quarantined == 7
+    assert cache.stats.evictions >= 4
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["cache.quarantined"] == 7
+    assert counters["cache.quarantine_evictions"] == 4
+
+
+def test_quarantine_capacity_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(disk_path=str(tmp_path), quarantine_capacity=0)
