@@ -1,4 +1,4 @@
-"""Kernel benchmark with a regression gate: bitmask vs reference.
+"""Kernel benchmark with a regression gate: bitmask vs reference + learning.
 
 Runs the paper's instances (Table 1 / Table 2) and a pool of forced-search
 random instances under both search kernels, then **fails** (exit 1) if any
@@ -8,14 +8,18 @@ of the following regress:
 * a node count differs between the kernels (the bitmask engine must
   reproduce the reference search tree exactly);
 * the geometric-mean nodes/sec speedup of the bitmask kernel over the
-  reference kernel drops below ``--min-speedup`` (performance regression).
+  reference kernel drops below ``--min-speedup`` (performance regression);
+* the conflict-learning layer changes any status, or its geometric-mean
+  node-count reduction over the unlearned kernel on the forced-search /
+  UNSAT pool drops below ``--min-node-reduction`` (learning regression).
 
-The measured record is written as JSON (default ``BENCH_PR4.json``): one
+The measured record is written as JSON (default ``BENCH_PR6.json``): one
 entry per instance with per-kernel wall time, node count, and nodes/sec,
-plus the aggregate geometric-mean speedup.  The committed copy at the repo
-root is the performance baseline for this PR; re-run this script after
-touching the kernel or the propagation rules and commit the refreshed
-numbers together with the change.
+one entry per learning case with on/off node counts, plus the aggregate
+geometric means.  The committed copy at the repo root is the performance
+baseline for this PR; re-run this script after touching the kernel, the
+propagation rules, or the learning layer and commit the refreshed numbers
+together with the change.
 
 Usage::
 
@@ -37,7 +41,7 @@ import random
 import sys
 import time
 
-from repro.core import SolverOptions, solve_opp
+from repro.core import LearningOptions, SolverOptions, solve_opp
 from repro.core.bitmask import KERNELS
 from repro.fpga import minimize_chip, square_chip
 from repro.instances import codec_task_graph, de_task_graph
@@ -133,7 +137,58 @@ def _random_pool(count):
     return pool
 
 
-def run(smoke=False, min_speedup=2.0, output="BENCH_PR4.json"):
+def _learning_pool(count):
+    """Deterministic decisive forced-search instances (UNSAT-heavy) whose
+    unlearned trees are big enough for learning to have something to cut."""
+    rng = random.Random(7)
+    pool = []
+    while len(pool) < count:
+        inst = random_instance(
+            rng, container=(4, 4, 6), num_boxes=rng.choice([7, 8]),
+            max_width=4, precedence_density=0.35,
+        )
+        probe = solve_opp(
+            inst, options=SolverOptions(node_limit=20000, **SEARCH_ONLY)
+        )
+        if probe.status in ("sat", "unsat") and probe.stats.nodes >= 50:
+            pool.append(inst)
+    return pool
+
+
+def _learning_case(name, instance, repeats):
+    """Solve once unlearned, once learned (bitmask kernel both times);
+    status must agree, and the node-count ratio feeds the learning gate."""
+    record = {"name": name, "modes": {}}
+    errors = []
+    for mode, learning in (
+        ("off", LearningOptions()),
+        ("on", LearningOptions(enabled=True)),
+    ):
+        options = SolverOptions(learning=learning, **SEARCH_ONLY)
+        result, seconds = _time_solve(instance, options, repeats)
+        record["modes"][mode] = {
+            "status": result.status,
+            "nodes": result.stats.nodes,
+            "seconds": round(seconds, 6),
+        }
+        if mode == "on":
+            record["modes"][mode].update(
+                nogoods_learned=result.stats.nogoods_learned,
+                nogood_prunes=result.stats.nogood_prunes,
+                restarts=result.stats.restarts,
+            )
+    off, on = record["modes"]["off"], record["modes"]["on"]
+    if off["status"] != on["status"]:
+        errors.append(
+            f"{name}: learning changed the status "
+            f"off={off['status']} on={on['status']}"
+        )
+    record["node_reduction"] = round(off["nodes"] / max(1, on["nodes"]), 3)
+    return record, errors
+
+
+def run(smoke=False, min_speedup=2.0, min_node_reduction=1.25,
+        output="BENCH_PR6.json"):
     repeats = 1 if smoke else 3
     records = []
     errors = []
@@ -177,6 +232,13 @@ def run(smoke=False, min_speedup=2.0, output="BENCH_PR4.json"):
         records.append(record)
         errors.extend(errs)
 
+    # -- Conflict learning: node reduction on the forced-search pool --------
+    learning_records = []
+    for i, inst in enumerate(_learning_pool(4 if smoke else 16)):
+        record, errs = _learning_case(f"learning/random_{i}", inst, repeats)
+        learning_records.append(record)
+        errors.extend(errs)
+
     speedups = [r["speedup"] for r in records if r.get("speedup")]
     geomean = (
         round(math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3)
@@ -188,12 +250,33 @@ def run(smoke=False, min_speedup=2.0, output="BENCH_PR4.json"):
             f"geometric-mean speedup {geomean} below the {min_speedup}x gate"
         )
 
+    reductions = [r["node_reduction"] for r in learning_records]
+    geomean_reduction = (
+        round(
+            math.exp(sum(math.log(s) for s in reductions) / len(reductions)),
+            3,
+        )
+        if reductions
+        else None
+    )
+    if (
+        geomean_reduction is not None
+        and geomean_reduction < min_node_reduction
+    ):
+        errors.append(
+            f"geometric-mean learning node reduction {geomean_reduction} "
+            f"below the {min_node_reduction}x gate"
+        )
+
     payload = {
-        "benchmark": "bitmask kernel vs reference (PR4)",
+        "benchmark": "bitmask kernel vs reference + conflict learning (PR6)",
         "mode": "smoke" if smoke else "full",
         "min_speedup_gate": min_speedup,
         "geomean_speedup": geomean,
+        "min_node_reduction_gate": min_node_reduction,
+        "geomean_node_reduction": geomean_reduction,
         "cases": records,
+        "learning_cases": learning_records,
         "regressions": errors,
     }
     with open(output, "w", encoding="utf-8") as handle:
@@ -206,14 +289,26 @@ def run(smoke=False, min_speedup=2.0, output="BENCH_PR4.json"):
             f"  {record['name']:<38}"
             + (f" speedup {speed:>7.2f}x" if speed else " (agreement only)")
         )
+    for record in learning_records:
+        print(
+            f"  {record['name']:<38}"
+            f" node reduction {record['node_reduction']:>6.2f}x"
+        )
     print(f"geometric-mean speedup: {geomean}x  (gate: >= {min_speedup}x)")
+    print(
+        f"geometric-mean learning node reduction: {geomean_reduction}x"
+        f"  (gate: >= {min_node_reduction}x)"
+    )
     print(f"wrote {output}")
     if errors:
         print("REGRESSIONS:", file=sys.stderr)
         for err in errors:
             print(f"  {err}", file=sys.stderr)
         return 1
-    print("gate passed: optima identical, trees identical, speedup above bar")
+    print(
+        "gate passed: optima identical, trees identical, speedup and "
+        "learning reduction above bar"
+    )
     return 0
 
 
@@ -224,15 +319,23 @@ def main(argv=None):
         help="CI-sized run: fewer instances, single timing repetition",
     )
     parser.add_argument(
-        "--output", default="BENCH_PR4.json", help="JSON output path"
+        "--output", default="BENCH_PR6.json", help="JSON output path"
     )
     parser.add_argument(
         "--min-speedup", type=float, default=2.0,
         help="fail if the geometric-mean nodes/sec speedup drops below this",
     )
+    parser.add_argument(
+        "--min-node-reduction", type=float, default=1.25,
+        help="fail if the geometric-mean learning node-count reduction on "
+        "the forced-search pool drops below this",
+    )
     args = parser.parse_args(argv)
     return run(
-        smoke=args.smoke, min_speedup=args.min_speedup, output=args.output
+        smoke=args.smoke,
+        min_speedup=args.min_speedup,
+        min_node_reduction=args.min_node_reduction,
+        output=args.output,
     )
 
 

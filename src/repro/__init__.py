@@ -60,6 +60,7 @@ from . import (
 )
 from .api import PROBLEMS, solve
 from .certify import certify_batch_dir, certify_payload
+from .core.nogoods import LearningOptions
 from .core.opp import OPPResult, SolverOptions
 from .parallel.cache import ResultCache
 from .parallel.portfolio import PortfolioSolver
@@ -72,6 +73,7 @@ __all__ = [
     "PROBLEMS",
     # the knobs a typical caller touches
     "SolverOptions",
+    "LearningOptions",
     "OPPResult",
     "ResultCache",
     "PortfolioSolver",

@@ -29,6 +29,7 @@ import time
 from typing import List, Optional
 
 from .core.bmp import minimize_base
+from .core.nogoods import LearningOptions
 from .core.opp import SolverOptions, solve_opp
 from .fpga import explore_tradeoffs, minimize_latency, place, square_chip
 from .instances.de import TABLE_1, de_task_graph
@@ -189,9 +190,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"nodes: {portfolio.stats.nodes}, {portfolio.elapsed:.3f}s)"
         )
     else:
-        options = SolverOptions(time_limit=args.time_limit)
         result = solve_opp(
-            instance, options=options, cache=cache, telemetry=_telemetry(args)
+            instance,
+            options=_solver_options(args),
+            cache=cache,
+            telemetry=_telemetry(args),
         )
         print(f"status: {result.status} (stage: {result.stage})")
     if result.certificate:
@@ -289,6 +292,9 @@ def _solver_options(args: argparse.Namespace) -> SolverOptions:
         return SolverOptions(
             time_limit=args.time_limit,
             kernel=getattr(args, "kernel", "bitmask"),
+            learning=LearningOptions(
+                enabled=getattr(args, "learning", False)
+            ),
         )
     except ValueError as exc:
         raise _InputError(str(exc)) from exc
@@ -473,7 +479,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     runner = BatchRunner(
         args.out,
-        options=SolverOptions(kernel=args.kernel),
+        options=SolverOptions(
+            kernel=args.kernel,
+            learning=LearningOptions(enabled=args.learning),
+        ),
         workers=args.workers,
         cache=_make_cache(args),
         time_limit=args.instance_time_limit,
@@ -617,6 +626,11 @@ def build_parser() -> argparse.ArgumentParser:
         "object-per-edge reference oracle (see docs/performance.md)",
     )
     solve.add_argument(
+        "--learning", action=argparse.BooleanOptionalAction, default=False,
+        help="conflict learning in the search: nogood recording, Luby "
+        "restarts, conflict-guided branching (see docs/performance.md)",
+    )
+    solve.add_argument(
         "--workers", type=int, default=None,
         help="race a portfolio of solver configurations on N workers",
     )
@@ -644,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--kernel", choices=("bitmask", "reference"), default="bitmask",
             help="search kernel: word-parallel bitsets (default) or the "
             "object-per-edge reference oracle (see docs/performance.md)",
+        )
+        cmd.add_argument(
+            "--learning", action=argparse.BooleanOptionalAction,
+            default=False,
+            help="conflict learning in the search (nogoods, restarts, "
+            "conflict-guided branching)",
         )
         if optimizer:
             cmd.add_argument(
@@ -728,6 +748,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--kernel", choices=("bitmask", "reference"), default="bitmask",
         help="search kernel for the solves",
+    )
+    batch.add_argument(
+        "--learning", action=argparse.BooleanOptionalAction, default=False,
+        help="conflict learning in the search (nogoods, restarts, "
+        "conflict-guided branching)",
     )
     batch.add_argument(
         "--no-certify", action="store_true",

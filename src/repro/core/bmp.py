@@ -131,11 +131,17 @@ class _ProbeRunner:
             return exhausted
         resume_from = None
         previous_decisions: Optional[Tuple] = None
-        carried_nodes = 0
+        carried_stats = None
         while True:
             opp = self._solve_once(instance, remaining, resume_from)
-            opp.stats.nodes += carried_nodes
-            if carried_nodes and opp.checkpoint is not None:
+            if carried_stats is not None:
+                # Fold every counter of the earlier slices in — a resumed
+                # slice continues the same logical search, so conflicts,
+                # leaves, restarts, and the learning counters accumulate
+                # exactly like nodes do (historically only nodes carried,
+                # and the rest silently reset on every resume).
+                opp.stats.carry(carried_stats)
+            if carried_stats is not None and opp.checkpoint is not None:
                 # Keep the ``checkpoint.nodes == stats.nodes`` invariant of
                 # single-slice results across carried slices, so the node
                 # counters never drift apart on a resumed-then-interrupted
@@ -156,7 +162,7 @@ class _ProbeRunner:
                 return opp  # stuck: same frontier twice, stop spinning
             previous_decisions = decisions
             resume_from = checkpoint
-            carried_nodes = opp.stats.nodes
+            carried_stats = opp.stats
             self.resume_slices += 1
 
     def probe(self, instance: PackingInstance, value: int, result) -> OPPResult:

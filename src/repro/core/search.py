@@ -38,11 +38,22 @@ from .edgestate import (
     EdgeStateModel,
     PropagationOptions,
 )
+from .nogoods import (
+    ConflictAnalyzer,
+    LearningOptions,
+    NogoodStore,
+    luby,
+    opposite_state,
+)
 from .placement import extract_placement
 
 
 class LimitReached(Exception):
     """Node or time budget exhausted; the search result is inconclusive."""
+
+
+class _Restart(Exception):
+    """Internal: the current restart round exhausted its conflict budget."""
 
 
 class InjectedFault(Exception):
@@ -107,12 +118,21 @@ class SearchCheckpoint:
     restarting.  ``fingerprint`` ties the snapshot to the instance and
     branching configuration that produced it; a mismatched checkpoint is
     ignored (recorded as a ``checkpoint_mismatch`` fault), never replayed.
+
+    A learning run additionally records which restart round it was in and
+    the serialized nogood store, so a kill/resume keeps its learned clauses
+    instead of rediscovering them.  The fingerprint deliberately ignores the
+    learning configuration: nogood pruning never skips solutions, so the
+    "siblings before the recorded value are exhausted" invariant holds even
+    when a checkpoint crosses a learning-on/learning-off boundary.
     """
 
     decisions: List[Tuple[int, int, int, int]] = field(default_factory=list)
     nodes: int = 0
     fingerprint: str = ""
     entrant: Optional[str] = None
+    restart_round: int = 0
+    nogoods: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -120,6 +140,8 @@ class SearchCheckpoint:
             "nodes": self.nodes,
             "fingerprint": self.fingerprint,
             "entrant": self.entrant,
+            "restart_round": self.restart_round,
+            "nogoods": self.nogoods,
         }
 
     @classmethod
@@ -129,6 +151,8 @@ class SearchCheckpoint:
             nodes=data.get("nodes", 0),
             fingerprint=data.get("fingerprint", ""),
             entrant=data.get("entrant"),
+            restart_round=data.get("restart_round", 0),
+            nogoods=data.get("nogoods"),
         )
 
 
@@ -167,6 +191,11 @@ class SearchStats:
     propagated_arcs: int = 0
     limit: Optional[str] = None
     faults: int = 0
+    restarts: int = 0
+    nogoods_learned: int = 0
+    nogood_prunes: int = 0
+    nogood_forcings: int = 0
+    nogoods_evicted: int = 0
 
     def merge_model(self, model: EdgeStateModel) -> None:
         self.conflicts += model.stats.conflicts
@@ -188,6 +217,34 @@ class SearchStats:
         self.propagated_arcs += other.propagated_arcs
         self.elapsed = max(self.elapsed, other.elapsed)
         self.faults += other.faults
+        self.restarts += other.restarts
+        self.nogoods_learned += other.nogoods_learned
+        self.nogood_prunes += other.nogood_prunes
+        self.nogood_forcings += other.nogood_forcings
+        self.nogoods_evicted += other.nogoods_evicted
+
+    def carry(self, earlier: "SearchStats") -> None:
+        """Fold an *earlier, sequential* slice of the same logical search
+        into this one (budgeted probe resumption).
+
+        Unlike :meth:`merge`, the slices ran back to back, so ``elapsed``
+        adds up too.  Every counter accumulates — a resumed slice must
+        never present itself as a fresh search that "reset" the
+        conflict/leaf/learning totals of the slices before it.
+        """
+        self.nodes += earlier.nodes
+        self.conflicts += earlier.conflicts
+        self.leaves += earlier.leaves
+        self.leaf_failures += earlier.leaf_failures
+        self.propagated_states += earlier.propagated_states
+        self.propagated_arcs += earlier.propagated_arcs
+        self.elapsed += earlier.elapsed
+        self.faults += earlier.faults
+        self.restarts += earlier.restarts
+        self.nogoods_learned += earlier.nogoods_learned
+        self.nogood_prunes += earlier.nogood_prunes
+        self.nogood_forcings += earlier.nogood_forcings
+        self.nogoods_evicted += earlier.nogoods_evicted
 
 
 @dataclass
@@ -230,6 +287,7 @@ class BranchAndBound:
         fault_plan: Optional[Any] = None,
         telemetry: Optional[Any] = None,
         kernel: str = "bitmask",
+        learning: Optional[LearningOptions] = None,
     ) -> None:
         """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
         the search starts — the FixedS problems fix the entire time axis this
@@ -257,7 +315,13 @@ class BranchAndBound:
         :class:`repro.core.bitmask.BitmaskEdgeStateModel`) or
         ``"reference"`` (the oracle).  Both explore the identical tree, so
         the choice is deliberately *not* part of the checkpoint
-        fingerprint — checkpoints are portable across kernels."""
+        fingerprint — checkpoints are portable across kernels.
+
+        ``learning`` (a :class:`repro.core.nogoods.LearningOptions`)
+        switches the conflict-learning layer on: nogood recording and
+        store-based pruning, Luby restarts, and conflict-guided branching.
+        The default (disabled) leaves the explored tree bit-for-bit
+        identical to the unlearned engine."""
         self.instance = instance
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         if kernel not in KERNELS:
@@ -304,7 +368,46 @@ class BranchAndBound:
         self._deadline: Optional[float] = None
         if self.branching.strategy not in ("guided", "static"):
             raise ValueError(f"unknown strategy {self.branching.strategy!r}")
+        self.learning = learning or LearningOptions()
+        self._store: Optional[NogoodStore] = None
+        self._analyzer: Optional[ConflictAnalyzer] = None
+        self._pair_activity: Dict[Tuple[int, int, int], float] = {}
+        self._pair_inc = 1.0
+        self._restart_round = 0
+        self._round_budget: Optional[int] = None
+        self._round_conflicts = 0
+        if self.learning.enabled:
+            self._store = NogoodStore(
+                limit=self.learning.store_limit,
+                activity_decay=self.learning.activity_decay,
+            )
+            if (
+                self.resume_from is not None
+                and self.resume_from.nogoods is not None
+            ):
+                # A resumed learning run keeps its learned clauses; the
+                # store round-trips byte-identically through the
+                # checkpoint (run counters live on SearchStats, so no
+                # slice double-counts).
+                self._store = NogoodStore.from_dict(
+                    self.resume_from.nogoods,
+                    limit=self.learning.store_limit,
+                    activity_decay=self.learning.activity_decay,
+                )
+                self._restart_round = self.resume_from.restart_round
+            self._analyzer = ConflictAnalyzer(
+                instance,
+                self.model.options,
+                kernel,
+                self.pre_states,
+                self.pre_arcs,
+                budget=self.learning.analysis_budget,
+                max_literals=self.learning.max_literals,
+            )
         self._branch_order = self._make_branch_order()
+        self._branch_rank = {
+            triple: rank for rank, triple in enumerate(self._branch_order)
+        }
         self._time_order = [
             (axis, u, v)
             for axis, u, v in self._branch_order
@@ -374,7 +477,7 @@ class BranchAndBound:
                     # the node limit could never make progress and chained
                     # resumes would stall forever at the same frontier.
                     self.node_limit += len(replay) + 1
-            placement = self._dfs(replay)
+            placement = self._run_rounds(replay)
             status = "sat" if placement is not None else "unsat"
             return self._finish(status, placement, start)
         except LimitReached as limit:
@@ -390,12 +493,55 @@ class BranchAndBound:
             self.checkpoint = self._snapshot()
             return self._finish("unknown", None, start)
 
+    def _run_rounds(
+        self, replay: Optional[List[Tuple[int, int, int, int]]]
+    ) -> Optional[Placement]:
+        """Drive the DFS through its restart schedule.
+
+        Without learning (or with restarts off) this is a single exhaustive
+        round.  With restarts, round ``i`` gives up after
+        ``luby(i+1) * restart_base`` conflicts, rolls the model back to the
+        root, and starts over — keeping the nogood store and branching
+        activities, which is the whole point — until the final round, which
+        runs unbounded so the search stays complete.
+        """
+        if not (self.learning.enabled and self.learning.restarts):
+            return self._dfs(replay)
+        root_mark = self.model.mark()
+        while True:
+            if self._restart_round >= self.learning.max_restarts:
+                self._round_budget = None
+            else:
+                self._round_budget = self.learning.restart_base * luby(
+                    self._restart_round + 1
+                )
+            self._round_conflicts = 0
+            try:
+                return self._dfs(replay)
+            except _Restart:
+                self.stats.restarts += 1
+                self._restart_round += 1
+                self.model.rollback(root_mark)
+                self._path.clear()
+                replay = None
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "search.restart",
+                        round=self._restart_round,
+                        nodes=self.stats.nodes,
+                        nogoods=len(self._store) if self._store else 0,
+                    )
+
     def _snapshot(self) -> SearchCheckpoint:
-        return SearchCheckpoint(
+        checkpoint = SearchCheckpoint(
             decisions=[tuple(d) for d in self._path],
             nodes=self.stats.nodes,
             fingerprint=self._fingerprint,
         )
+        if self.learning.enabled and self._store is not None:
+            checkpoint.restart_round = self._restart_round
+            checkpoint.nogoods = self._store.to_dict()
+        return checkpoint
 
     def _finish(
         self, status: str, placement: Optional[Placement], start: float
@@ -421,6 +567,24 @@ class BranchAndBound:
                 )
             if status == "unsat":
                 metrics.counter("prune.search").add()
+            if self.learning.enabled:
+                metrics.counter("learning.restarts").add(self.stats.restarts)
+                metrics.counter("learning.nogoods_learned").add(
+                    self.stats.nogoods_learned
+                )
+                metrics.counter("learning.nogood_prunes").add(
+                    self.stats.nogood_prunes
+                )
+                metrics.counter("learning.nogood_forcings").add(
+                    self.stats.nogood_forcings
+                )
+                metrics.counter("learning.nogoods_evicted").add(
+                    self.stats.nogoods_evicted
+                )
+                if self._store is not None:
+                    metrics.gauge("learning.store_size").set(
+                        float(len(self._store))
+                    )
         return status, placement
 
     def _dfs(
@@ -454,6 +618,12 @@ class BranchAndBound:
                     conflicts=self.stats.conflicts,
                     leaves=self.stats.leaves,
                 )
+        if self._store is not None and len(self._store) and self._apply_nogoods():
+            # The store refutes this node outright — it extends a learned
+            # forbidden prefix, so no completion can be feasible.
+            self.stats.nogood_prunes += 1
+            self._note_round_conflict()
+            return None
         choice = self._pick_branch()
         if choice is None:
             return self._verify_leaf()
@@ -488,6 +658,8 @@ class BranchAndBound:
                 self.model.assign_state(axis, u, v, value)
             except Conflict:
                 self.model.rollback(mark)
+                if self.learning.enabled:
+                    self._on_conflict(axis, u, v, value)
                 continue
             # The path is only unwound on a normal return: when a limit or
             # fault aborts the recursion, the stack as-is IS the checkpoint.
@@ -498,6 +670,88 @@ class BranchAndBound:
                 return placement
             self.model.rollback(mark)
         return None
+
+    def _apply_nogoods(self) -> bool:
+        """Filter the current node through the nogood store.
+
+        A nogood whose literals all hold refutes the node (True).  A *unit*
+        nogood — exactly one literal undecided, the rest holding — forces
+        that literal's complement (edge states are binary once decided);
+        forcing loops to a fixpoint because each forced state can make
+        further nogoods unit.  All assignments land on the model trail after
+        the caller's mark, so the ordinary rollback undoes them.
+        """
+        from .edgestate import UNDECIDED
+
+        store = self._store
+        state = self.model.state
+        changed = True
+        while changed:
+            changed = False
+            for nogood in store.nogoods:
+                unit: Optional[Tuple[int, int, int, int]] = None
+                matches = True
+                for axis, u, v, value in nogood.literals:
+                    cur = state[axis][u][v]
+                    if cur == UNDECIDED:
+                        if unit is not None:
+                            matches = False
+                            break
+                        unit = (axis, u, v, value)
+                    elif cur != value:
+                        matches = False
+                        break
+                if not matches:
+                    continue
+                if unit is None:
+                    store.bump(nogood)
+                    return True
+                axis, u, v, value = unit
+                store.bump(nogood)
+                try:
+                    self.model.assign_state(axis, u, v, opposite_state(value))
+                except Conflict:
+                    # The complement is refuted too: the node is dead either
+                    # way.  The caller's rollback cleans the partial trail.
+                    return True
+                self.stats.nogood_forcings += 1
+                changed = True
+        return False
+
+    def _on_conflict(self, axis: int, u: int, v: int, value: int) -> None:
+        """A decision was refuted by propagation: learn from it.
+
+        Bumps the conflict-frequency score of the failing (pair, axis),
+        tries to extract and store a minimal nogood from the failing
+        decision prefix, and charges the restart budget (raising
+        :class:`_Restart` when the round is out of conflicts).
+        """
+        if self.learning.guided_branching:
+            self._pair_activity[(axis, u, v)] = (
+                self._pair_activity.get((axis, u, v), 0.0) + self._pair_inc
+            )
+            self._pair_inc /= self.learning.activity_decay
+            if self._pair_inc > 1e100:
+                for key in self._pair_activity:
+                    self._pair_activity[key] *= 1e-100
+                self._pair_inc *= 1e-100
+        analyzer = self._analyzer
+        if analyzer is not None and analyzer.replays < analyzer.budget:
+            outcome = analyzer.analyze(self._path + [(axis, u, v, value)])
+            if outcome.literals is not None:
+                added, evicted = self._store.add(outcome.literals)
+                if added:
+                    self.stats.nogoods_learned += 1
+                self.stats.nogoods_evicted += evicted
+        self._note_round_conflict()
+
+    def _note_round_conflict(self) -> None:
+        self._round_conflicts += 1
+        if (
+            self._round_budget is not None
+            and self._round_conflicts >= self._round_budget
+        ):
+            raise _Restart()
 
     def _value_order(self, axis: int, u: int, v: int) -> Tuple[int, int]:
         if self.branching.strategy == "static":
@@ -514,6 +768,23 @@ class BranchAndBound:
         from .edgestate import UNDECIDED
 
         state = self.model.state
+        if self._pair_activity:
+            # Conflict-guided branching: decide the (pair, axis) most often
+            # implicated in conflicts first; ties fall back to the static
+            # rank so the choice stays deterministic.  The map is empty
+            # until the first conflict, so the pre-conflict tree is the
+            # base heuristic's tree unchanged.
+            best: Optional[Tuple[int, int, int]] = None
+            best_key: Optional[Tuple[float, int]] = None
+            for triple, activity in self._pair_activity.items():
+                axis, u, v = triple
+                if state[axis][u][v] != UNDECIDED:
+                    continue
+                key = (-activity, self._branch_rank[triple])
+                if best_key is None or key < best_key:
+                    best_key, best = key, triple
+            if best is not None:
+                return best
         if self.branching.strategy == "static":
             for axis, u, v in self._branch_order:
                 if state[axis][u][v] == UNDECIDED:

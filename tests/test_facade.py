@@ -220,6 +220,7 @@ class TestPublicApiSnapshot:
             "solve",
             "PROBLEMS",
             "SolverOptions",
+            "LearningOptions",
             "OPPResult",
             "ResultCache",
             "PortfolioSolver",

