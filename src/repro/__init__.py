@@ -37,6 +37,8 @@ Main modules:
 * :mod:`repro.parallel` — the racing portfolio, result cache, fault plans;
 * :mod:`repro.runtime` — crash-safe batch solving (durable journal,
   per-instance watchdogs, kill-anywhere resume);
+* :mod:`repro.distributed` — fault-tolerant distributed tree search
+  (leased subtree queue, crash recovery, certified deterministic merge);
 * :mod:`repro.certify` — independent certification of solver results;
 * :mod:`repro.telemetry` — tracing and metrics;
 * :mod:`repro.instances` — the paper's DE and video-codec benchmarks;
@@ -49,6 +51,7 @@ from . import (
     baselines,
     certify,
     core,
+    distributed,
     fpga,
     graphs,
     heuristics,
@@ -62,6 +65,12 @@ from .api import PROBLEMS, solve
 from .certify import certify_batch_dir, certify_payload
 from .core.nogoods import LearningOptions
 from .core.opp import OPPResult, SolverOptions
+from .distributed import (
+    DistributedOptions,
+    DistributedResult,
+    resume_distributed,
+    solve_distributed,
+)
 from .parallel.cache import ResultCache
 from .parallel.portfolio import PortfolioSolver
 from .runtime import BatchRunner, run_batch
@@ -83,11 +92,17 @@ __all__ = [
     "run_batch",
     "certify_batch_dir",
     "certify_payload",
+    # the distributed runtime
+    "DistributedOptions",
+    "DistributedResult",
+    "solve_distributed",
+    "resume_distributed",
     # submodules
     "api",
     "baselines",
     "certify",
     "core",
+    "distributed",
     "fpga",
     "graphs",
     "heuristics",

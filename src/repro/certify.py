@@ -281,6 +281,121 @@ def certify_payload(
 
 
 # ---------------------------------------------------------------------------
+# Distributed subtree claims
+# ---------------------------------------------------------------------------
+
+
+def check_subtree_claim(
+    claim: Mapping[str, Any],
+    *,
+    digest: str,
+    fingerprint: str,
+) -> List[str]:
+    """Structurally validate a worker's UNSAT subtree claim.
+
+    UNSAT subtree claims carry no small witness, so before the coordinator
+    accepts one it checks the claim's *attestation*: the subtree digest
+    and search fingerprint must match the task being answered (a worker
+    cannot get credit for a different subtree, or for a search under a
+    different configuration), the node count must show the subtree root
+    was actually entered, and the stats must be internally consistent —
+    an exhaustive UNSAT search fails every leaf it verifies.  Returns the
+    violations (empty iff the claim is structurally sound).
+    """
+    problems: List[str] = []
+    if claim.get("status") != "unsat":
+        return [f"not an UNSAT claim: status {claim.get('status')!r}"]
+    attestation = claim.get("attestation")
+    if not isinstance(attestation, Mapping):
+        return ["UNSAT claim carries no attestation"]
+    if attestation.get("digest") != digest:
+        problems.append(
+            "attestation digest does not match the task's subtree"
+        )
+    if attestation.get("fingerprint") != fingerprint:
+        problems.append(
+            "attestation fingerprint does not match the search "
+            "configuration"
+        )
+    stats = claim.get("stats") or {}
+    try:
+        nodes = int(attestation.get("nodes", -1))
+        leaves = int(stats.get("leaves", -1))
+        leaf_failures = int(stats.get("leaf_failures", -2))
+    except (TypeError, ValueError):
+        return problems + ["malformed attestation counters"]
+    if nodes < 1:
+        problems.append(
+            f"attested node count {nodes} cannot cover a subtree"
+        )
+    if nodes != int(stats.get("nodes", -1)):
+        problems.append("attested node count disagrees with claim stats")
+    if leaves != leaf_failures:
+        problems.append(
+            f"UNSAT claim verified {leaves} leaves but failed "
+            f"{leaf_failures} — an exhaustive refutation fails every leaf"
+        )
+    if claim.get("positions") is not None:
+        problems.append("UNSAT claim carries witness positions")
+    return problems
+
+
+def recheck_subtree(
+    instance: Any,
+    prefix: Any,
+    *,
+    propagation: Any = None,
+    branching: Any = None,
+    budget_nodes: int = DEFAULT_RECHECK_NODES,
+    time_limit: Optional[float] = None,
+) -> CertificationVerdict:
+    """Re-search one subtree on the reference kernel under a budget.
+
+    The distributed coordinator's strongest answer to a lying worker: the
+    subtree is re-derived from its prefix on the retained oracle engine.
+    Agreement with UNSAT certifies, a found placement refutes, and an
+    exhausted budget is reported honestly as ``inconclusive``.
+    """
+    from .core.search import BranchAndBound, CheckpointMismatch
+
+    try:
+        solver = BranchAndBound(
+            instance,
+            propagation=propagation,
+            branching=branching,
+            node_limit=budget_nodes,
+            time_limit=time_limit,
+            kernel="reference",
+            subtree=[tuple(d) for d in prefix],
+        )
+        status, _ = solver.solve()
+    except CheckpointMismatch as exc:
+        return CertificationVerdict(
+            verdict="refuted",
+            method="subtree-recheck",
+            reason=f"subtree prefix does not replay: {exc}",
+        )
+    if status == "unsat":
+        return CertificationVerdict(
+            verdict="certified",
+            method="subtree-recheck",
+            reason=f"reference kernel agrees (nodes={solver.stats.nodes})",
+        )
+    if status == "sat":
+        return CertificationVerdict(
+            verdict="refuted",
+            method="subtree-recheck",
+            reason="reference kernel found a feasible placement in a "
+            "claimed-unsat subtree",
+        )
+    return CertificationVerdict(
+        verdict="inconclusive",
+        method="subtree-recheck",
+        reason=f"recheck budget exhausted ({solver.stats.limit})",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Batch auditing (offline `repro-fpga certify <dir>`)
 # ---------------------------------------------------------------------------
 
@@ -355,4 +470,6 @@ __all__ = [
     "certify_batch_dir",
     "certify_payload",
     "check_certificate",
+    "check_subtree_claim",
+    "recheck_subtree",
 ]

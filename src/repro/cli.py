@@ -210,6 +210,85 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return exit_code_for_status(result.status)
 
 
+def _cmd_dsolve(args: argparse.Namespace) -> int:
+    """Distributed decision of one instance (see :mod:`repro.distributed`).
+
+    The tree is split into leased subtrees solved by worker processes;
+    claims pass a certification gate and merge deterministically.  A run
+    with ``--out`` journals every lease transition and can come back from
+    a coordinator kill via ``--resume``.
+    """
+    from .distributed import (
+        DistributedOptions,
+        DistributedSolver,
+        solve_distributed,
+    )
+
+    if args.resume:
+        if args.out is None:
+            raise _InputError("--resume needs --out DIR (the run directory)")
+        options = DistributedOptions(
+            workers=args.workers,
+            backend=args.backend,
+            lease_duration=args.lease_duration,
+            heartbeat_interval=args.heartbeat_interval,
+            reissue_budget=args.reissue_budget,
+            deterministic=args.deterministic,
+            wall_timeout=args.wall_timeout,
+        )
+        try:
+            result = DistributedSolver.resume(
+                args.out, options, telemetry=_telemetry(args)
+            )
+        except (ValueError, OSError) as exc:
+            raise _InputError(f"cannot resume {args.out!r}: {exc}") from exc
+    else:
+        if args.instance is None:
+            raise _InputError("an instance file is required (or --resume)")
+        instance = _load_input(
+            args.instance, instance_from_dict, "instance file"
+        )
+        options = DistributedOptions(
+            workers=args.workers,
+            backend=args.backend,
+            target_tasks=args.target_tasks,
+            lease_duration=args.lease_duration,
+            heartbeat_interval=args.heartbeat_interval,
+            reissue_budget=args.reissue_budget,
+            deterministic=args.deterministic,
+            recheck_unsat=args.recheck_unsat,
+            run_dir=args.out,
+            wall_timeout=args.wall_timeout,
+            solver=_solver_options(args),
+            share_nogoods=args.learning,
+        )
+        result = solve_distributed(
+            instance, options, telemetry=_telemetry(args)
+        )
+    print(
+        f"status: {result.status} (stage: {result.stage}, "
+        f"tasks: {result.tasks}, completed: {result.completed}, "
+        f"cancelled: {result.cancelled}, abandoned: {result.abandoned})"
+    )
+    print(
+        f"leases: {result.leases}, reissues: {result.reissues}, "
+        f"stale claims: {result.stale_claims}, "
+        f"refuted claims: {result.refuted_claims}, "
+        f"wasted nodes: {result.wasted_nodes}"
+    )
+    if result.canonical:
+        print("merge: canonical (deterministic prefix-ordered fold)")
+    for fault in result.faults:
+        who = f" [{fault.entrant}]" if fault.entrant else ""
+        print(f"fault: {fault.kind}{who}: {fault.detail}")
+    if result.status == "unknown" and result.stats.limit:
+        print(f"reason: {result.stats.limit}")
+    if result.placement is not None:
+        for i, pos in enumerate(result.placement.positions):
+            print(f"  box {i}: anchor {pos}")
+    return exit_code_for_status(result.status)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Run the complete reproduction and print one consolidated record."""
     print("=" * 72)
@@ -768,6 +847,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the on-disk verdict cache (created if missing)",
     )
 
+    dsolve = sub.add_parser(
+        "dsolve",
+        help="distributed decision of one instance: leased subtrees, "
+        "certified claims, deterministic merge (docs/robustness.md)",
+        parents=[observe],
+    )
+    dsolve.add_argument(
+        "instance", nargs="?", default=None,
+        help="path to a JSON instance file (omit with --resume)",
+    )
+    dsolve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes sharing the search tree (default: 2)",
+    )
+    dsolve.add_argument(
+        "--backend", choices=("process", "inline"), default="process",
+        help="'process' runs real workers; 'inline' simulates the full "
+        "protocol in one process (deterministic tests, debugging)",
+    )
+    dsolve.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="run directory for the durable queue journal "
+        "(queue.jsonl, incidents.jsonl); required for --resume",
+    )
+    dsolve.add_argument(
+        "--resume", action="store_true",
+        help="continue a crashed run from the journal in --out (orphaned "
+        "leases are fenced; nothing is lost or double-counted)",
+    )
+    dsolve.add_argument(
+        "--target-tasks", type=int, default=32, metavar="N",
+        help="subtrees the splitter aims for (a split-topology parameter: "
+        "keep it fixed to keep merged stats worker-count-independent)",
+    )
+    dsolve.add_argument(
+        "--lease-duration", type=float, default=5.0, metavar="SEC",
+        help="heartbeat deadline before a subtree lease is reissued",
+    )
+    dsolve.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="SEC",
+        help="worker heartbeat cadence (must be below the lease duration)",
+    )
+    dsolve.add_argument(
+        "--reissue-budget", type=int, default=3, metavar="N",
+        help="reissues per subtree before it is abandoned (explicit "
+        "unknown instead of an infinite retry loop)",
+    )
+    dsolve.add_argument(
+        "--deterministic", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="wait for every subtree ordered before the first SAT so the "
+        "answer and merged stats are reproducible (default on)",
+    )
+    dsolve.add_argument(
+        "--recheck-unsat", action="store_true",
+        help="re-search UNSAT subtree claims on the reference kernel "
+        "before accepting them",
+    )
+    dsolve.add_argument(
+        "--wall-timeout", type=float, default=None, metavar="SEC",
+        help="abandon the remaining subtrees after this much wall clock",
+    )
+    dsolve.add_argument(
+        "--time-limit", type=float, default=None,
+        help="per-subtree seconds before a worker gives up",
+    )
+    dsolve.add_argument(
+        "--kernel", choices=("bitmask", "reference"), default="bitmask",
+        help="search kernel for the workers",
+    )
+    dsolve.add_argument(
+        "--learning", action=argparse.BooleanOptionalAction, default=False,
+        help="conflict learning inside each subtree, with gate-verified "
+        "nogoods broadcast to later assignments (trades the byte-"
+        "identical-stats guarantee for cross-subtree pruning)",
+    )
+
     certify = sub.add_parser(
         "certify",
         help="independently re-audit a batch directory's results",
@@ -830,6 +986,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pareto": _cmd_pareto,
         "svg": _cmd_svg,
         "batch": _cmd_batch,
+        "dsolve": _cmd_dsolve,
         "certify": _cmd_certify,
     }
     _install_sigterm_as_interrupt()

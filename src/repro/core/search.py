@@ -52,6 +52,37 @@ class LimitReached(Exception):
     """Node or time budget exhausted; the search result is inconclusive."""
 
 
+class CheckpointMismatch(ValueError):
+    """A checkpoint or subtree descriptor that cannot be replayed here.
+
+    Silent degradation (drop the checkpoint, restart from scratch) is the
+    right call when the snapshot merely belongs to a *different* search —
+    but it is the wrong call when resuming would silently *lose* state the
+    caller believes is being carried forward.  Two cases raise instead:
+
+    * a checkpoint taken mid-restart-schedule by a learning run
+      (``restart_round > 0`` with a serialized nogood store) resumed with
+      learning off — replaying the prefix without the store would quietly
+      discard the restart context the prefix was searched under;
+    * a distributed subtree prefix that diverges from the deterministic
+      branching heuristic (or is refuted by propagation) — the descriptor
+      was produced against a different tree, and searching "some other"
+      subtree would corrupt the exactly-once accounting of the split.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        restart_round: int = 0,
+        fingerprint: str = "",
+    ) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.restart_round = restart_round
+        self.fingerprint = fingerprint
+
+
 class _Restart(Exception):
     """Internal: the current restart round exhausted its conflict budget."""
 
@@ -246,6 +277,80 @@ class SearchStats:
         self.nogood_forcings += earlier.nogood_forcings
         self.nogoods_evicted += earlier.nogoods_evicted
 
+    def canonical_dict(self) -> Dict[str, int]:
+        """The deterministic tree-shape counters, nothing else.
+
+        Wall-clock (``elapsed``), limit reasons, and runtime-incident
+        counters (``faults``) vary run to run; everything returned here is
+        a pure function of the explored tree.  Two runs (or one serial run
+        and one distributed merge) explored the same tree iff these dicts
+        are equal — the byte-identical-stats invariant of the distributed
+        runtime is asserted on exactly this payload.
+        """
+        return {
+            "nodes": self.nodes,
+            "conflicts": self.conflicts,
+            "leaves": self.leaves,
+            "leaf_failures": self.leaf_failures,
+            "propagated_states": self.propagated_states,
+            "propagated_arcs": self.propagated_arcs,
+            "restarts": self.restarts,
+            "nogoods_learned": self.nogoods_learned,
+            "nogood_prunes": self.nogood_prunes,
+            "nogood_forcings": self.nogood_forcings,
+            "nogoods_evicted": self.nogoods_evicted,
+        }
+
+
+@dataclass
+class SplitTask:
+    """One frontier subtree descriptor produced by :meth:`BranchAndBound.split`.
+
+    ``prefix`` is a decision list in checkpoint format (``(axis, u, v,
+    value)``); replaying it on a fresh solver with the same configuration
+    (via ``BranchAndBound(..., subtree=prefix)``) lands exactly on the
+    frontier node, and the searches below the full frontier partition the
+    serial tree.  ``order_key`` is the sequence of value-order indices along
+    the path: lexicographic order on these keys is the serial DFS visit
+    order, which is what makes the distributed merge deterministic.
+    """
+
+    prefix: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    order_key: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "prefix": [list(d) for d in self.prefix],
+            "order_key": list(self.order_key),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SplitTask":
+        return cls(
+            prefix=[tuple(d) for d in data.get("prefix", [])],
+            order_key=tuple(data.get("order_key", [])),
+        )
+
+
+@dataclass
+class SplitResult:
+    """Outcome of splitting the top of a search tree into subtree tasks.
+
+    ``status`` is ``"split"`` (``tasks`` cover the rest of the tree) or
+    ``"unsat"`` (every branch conflicted while expanding — the split alone
+    proved infeasibility and ``tasks`` is empty).  ``stats`` is the
+    splitter's share of the serial accounting: the root and every expanded
+    internal node, plus the conflicts and propagations observed while
+    trying their children.  Adding the subtree searches' stats (in
+    ``order_key`` order, via :meth:`SearchStats.carry`) reproduces the
+    serial run's counters exactly.
+    """
+
+    status: str
+    tasks: List[SplitTask] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+    fingerprint: str = ""
+
 
 @dataclass
 class BranchingOptions:
@@ -288,6 +393,7 @@ class BranchAndBound:
         telemetry: Optional[Any] = None,
         kernel: str = "bitmask",
         learning: Optional[LearningOptions] = None,
+        subtree: Optional[List[Tuple[int, int, int, int]]] = None,
     ) -> None:
         """``pre_states`` / ``pre_arcs`` fix edge states / orientations before
         the search starts — the FixedS problems fix the entire time axis this
@@ -321,7 +427,18 @@ class BranchAndBound:
         switches the conflict-learning layer on: nogood recording and
         store-based pruning, Luby restarts, and conflict-guided branching.
         The default (disabled) leaves the explored tree bit-for-bit
-        identical to the unlearned engine."""
+        identical to the unlearned engine.
+
+        ``subtree`` scopes the search to one subtree of the full tree: the
+        decision prefix (a :class:`SplitTask` ``prefix``, produced by
+        :meth:`split`) is applied as ordinary search decisions — each must
+        match the deterministic branching heuristic, or
+        :class:`CheckpointMismatch` is raised — and the search then
+        exhausts only what lies below, never trying prefix siblings.
+        Unlike ``pre_states``, a subtree prefix keeps symmetry breaking
+        on, so the explored subtree is exactly the serial search's
+        subtree.  Prefix-replay conflicts and propagations are *excluded*
+        from this run's stats (the splitter already counted them)."""
         self.instance = instance
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         if kernel not in KERNELS:
@@ -369,6 +486,31 @@ class BranchAndBound:
         if self.branching.strategy not in ("guided", "static"):
             raise ValueError(f"unknown strategy {self.branching.strategy!r}")
         self.learning = learning or LearningOptions()
+        self._subtree = [tuple(d) for d in (subtree or [])]
+        self._path_base = 0
+        if self._subtree and self.resume_from is not None:
+            raise ValueError(
+                "subtree and resume_from are mutually exclusive; a "
+                "reissued subtree restarts from its prefix"
+            )
+        if (
+            self.resume_from is not None
+            and self.resume_from.nogoods is not None
+            and self.resume_from.restart_round > 0
+            and not self.learning.enabled
+        ):
+            # The prefix of a mid-restart-schedule checkpoint was searched
+            # under the recorded nogood store; resuming with learning off
+            # would silently drop that restart context.  Refuse loudly —
+            # the caller either re-enables learning or restarts cleanly.
+            raise CheckpointMismatch(
+                "checkpoint was taken mid-restart-schedule by a learning "
+                f"run (restart_round={self.resume_from.restart_round}, "
+                "nogood store present) but learning is disabled; resuming "
+                "would silently drop the restart context",
+                restart_round=self.resume_from.restart_round,
+                fingerprint=self.resume_from.fingerprint,
+            )
         self._store: Optional[NogoodStore] = None
         self._analyzer: Optional[ConflictAnalyzer] = None
         self._pair_activity: Dict[Tuple[int, int, int], float] = {}
@@ -460,6 +602,8 @@ class BranchAndBound:
                     self.model.propagate()
             except Conflict:
                 return self._finish("unsat", None, start)
+            if self._subtree:
+                self._enter_subtree()
             replay = None
             if self.resume_from is not None and self.resume_from.decisions:
                 replay = [tuple(d) for d in self.resume_from.decisions]
@@ -522,7 +666,10 @@ class BranchAndBound:
                 self.stats.restarts += 1
                 self._restart_round += 1
                 self.model.rollback(root_mark)
-                self._path.clear()
+                # A subtree search restarts to its subtree root, not the
+                # tree root: the prefix stays on the path (and the model
+                # trail below root_mark) across rounds.
+                del self._path[self._path_base:]
                 replay = None
                 if self.telemetry.enabled:
                     self.telemetry.event(
@@ -531,6 +678,161 @@ class BranchAndBound:
                         nodes=self.stats.nodes,
                         nogoods=len(self._store) if self._store else 0,
                     )
+
+    def _enter_subtree(self) -> None:
+        """Apply the subtree prefix as search decisions (stats-neutral).
+
+        Every prefix decision must be the branch the deterministic
+        heuristic would pick at that node with a legal value — anything
+        else means the descriptor was produced against a different tree
+        and is a :class:`CheckpointMismatch`, never a silent drift.  The
+        prefix stays on ``self._path`` (conflict analysis and checkpoints
+        see the true root-relative path), and the model counters are
+        re-based afterwards so prefix propagation — already counted by the
+        splitter — is excluded from this run's share of the accounting.
+        """
+        for axis, u, v, value in self._subtree:
+            choice = self._pick_branch()
+            if choice != (axis, u, v):
+                raise CheckpointMismatch(
+                    f"subtree prefix expects branch {(axis, u, v)} but the "
+                    f"branching heuristic chose {choice!r}; the descriptor "
+                    "belongs to a different configuration",
+                    fingerprint=self._fingerprint,
+                )
+            if value not in self._value_order(axis, u, v):
+                raise CheckpointMismatch(
+                    f"subtree prefix value {value} is not a legal branch "
+                    "value",
+                    fingerprint=self._fingerprint,
+                )
+            try:
+                self.model.assign_state(axis, u, v, value)
+            except Conflict as exc:
+                raise CheckpointMismatch(
+                    "subtree prefix is refuted by propagation; the splitter "
+                    "that produced it searched a different tree",
+                    fingerprint=self._fingerprint,
+                ) from exc
+            self._path.append((axis, u, v, value))
+        self._path_base = len(self._path)
+        stats = self.model.stats
+        stats.conflicts = 0
+        stats.forced_states = 0
+        stats.forced_arcs = 0
+
+    def split(self, target: int) -> SplitResult:
+        """Expand the top of the tree into ``>= target`` frontier subtrees.
+
+        The splitter simulates the serial DFS at the nodes it expands: the
+        node is counted, every value the heuristic would try is propagated
+        (conflicting children are counted as conflicts, exactly where the
+        serial search would count them), and surviving children join the
+        frontier.  Expansion is breadth-first until the frontier reaches
+        ``target`` (or the tree runs out); frontier nodes themselves are
+        *not* counted — the subtree searches count their own roots — so
+        every node of the serial tree is counted exactly once across the
+        split and its subtree searches.  Returns the frontier in serial
+        DFS order (see :class:`SplitTask`).
+
+        Leaves discovered at the frontier are left as (trivial) tasks, not
+        verified here: the splitter never settles SAT itself, which keeps
+        its share of the accounting independent of the split target.
+        """
+        from collections import deque
+
+        if target < 1:
+            raise ValueError(f"split target must be positive, got {target}")
+        if self.resume_from is not None:
+            raise ValueError("cannot split a resumed search")
+        if self._subtree:
+            raise ValueError("cannot split inside a subtree search")
+        if self.learning.enabled:
+            raise ValueError(
+                "splitting requires learning off: the splitter's share of "
+                "the accounting must be a pure function of the tree"
+            )
+        start = time.monotonic()
+        try:
+            self.model.seed()
+            for axis, u, v, value in self.pre_states:
+                self.model.assign_state(axis, u, v, value, propagate=False)
+            for axis, a, b in self.pre_arcs:
+                self.model.assign_arc(axis, a, b, propagate=False)
+            if self.pre_states or self.pre_arcs:
+                self.model.propagate()
+        except Conflict:
+            self._finish("unsat", None, start)
+            return SplitResult(
+                status="unsat", stats=self.stats, fingerprint=self._fingerprint
+            )
+        pending: Any = deque([((), ())])
+        settled: List[Tuple[Tuple, Tuple]] = []
+        while pending and len(pending) + len(settled) < target:
+            prefix, key = pending.popleft()
+            expansion = self._expand_node(prefix)
+            if expansion is None:
+                settled.append((prefix, key))
+            else:
+                for idx, decision in expansion:
+                    pending.append((prefix + (decision,), key + (idx,)))
+        frontier = sorted(settled + list(pending), key=lambda item: item[1])
+        tasks = [
+            SplitTask(prefix=[tuple(d) for d in prefix], order_key=tuple(key))
+            for prefix, key in frontier
+        ]
+        status = "split" if tasks else "unsat"
+        self._finish(status, None, start)
+        return SplitResult(
+            status=status,
+            tasks=tasks,
+            stats=self.stats,
+            fingerprint=self._fingerprint,
+        )
+
+    def _expand_node(
+        self, prefix: Tuple[Tuple[int, int, int, int], ...]
+    ) -> Optional[List[Tuple[int, Tuple[int, int, int, int]]]]:
+        """Expand one frontier node; ``None`` means it is a leaf.
+
+        Counts the node and its children's conflicts exactly as the serial
+        DFS entering it would; returns the surviving ``(value_index,
+        decision)`` children in value order.
+        """
+        mark = self.model.mark()
+        try:
+            self._replay_decisions(prefix)
+            choice = self._pick_branch()
+            if choice is None:
+                return None
+            self.stats.nodes += 1
+            self.model.stats.nodes_entered += 1
+            axis, u, v = choice
+            children: List[Tuple[int, Tuple[int, int, int, int]]] = []
+            for idx, value in enumerate(self._value_order(axis, u, v)):
+                child_mark = self.model.mark()
+                try:
+                    self.model.assign_state(axis, u, v, value)
+                except Conflict:
+                    self.model.rollback(child_mark)
+                    continue
+                self.model.rollback(child_mark)
+                children.append((idx, (axis, u, v, value)))
+            return children
+        finally:
+            self.model.rollback(mark)
+
+    def _replay_decisions(
+        self, prefix: Tuple[Tuple[int, int, int, int], ...]
+    ) -> None:
+        """Re-apply an already-counted prefix without recounting its stats."""
+        stats = self.model.stats
+        before = (stats.conflicts, stats.forced_states, stats.forced_arcs)
+        try:
+            for axis, u, v, value in prefix:
+                self.model.assign_state(axis, u, v, value)
+        finally:
+            stats.conflicts, stats.forced_states, stats.forced_arcs = before
 
     def _snapshot(self) -> SearchCheckpoint:
         checkpoint = SearchCheckpoint(

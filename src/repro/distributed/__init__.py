@@ -1,0 +1,60 @@
+"""Fault-tolerant distributed tree search.
+
+One branch-and-bound tree, sharded across worker processes:
+
+* :mod:`~repro.distributed.subtree` — decision-prefix subtree
+  descriptors and the frontier splitter wrapper;
+* :mod:`~repro.distributed.queue` — the durable, leased work queue
+  (epoch-fenced exactly-once accounting over the fsync'd journal
+  format, with an offline auditor);
+* :mod:`~repro.distributed.worker` — the untrusted worker loop and its
+  claim/attestation payloads;
+* :mod:`~repro.distributed.coordinator` — leases, reissue with backoff
+  and budget, SAT-horizon broadcast, the certification gate, and the
+  deterministic prefix-ordered merge.
+
+See ``docs/robustness.md`` ("Distributed failure semantics") for the
+lease lifecycle and the exactly-once argument.
+"""
+
+from .coordinator import (
+    DEFAULT_TARGET_TASKS,
+    INCIDENTS_NAME,
+    CoordinatorKilled,
+    DistributedOptions,
+    DistributedResult,
+    DistributedSolver,
+    resume_distributed,
+    solve_distributed,
+)
+from .queue import (
+    QUEUE_JOURNAL_NAME,
+    LeaseQueue,
+    QueueAudit,
+    TaskEntry,
+    audit_queue_journal,
+    replay_queue_journal,
+)
+from .subtree import SubtreeTask, prefix_digest, split_instance
+from .worker import solve_subtree
+
+__all__ = [
+    "DEFAULT_TARGET_TASKS",
+    "INCIDENTS_NAME",
+    "QUEUE_JOURNAL_NAME",
+    "CoordinatorKilled",
+    "DistributedOptions",
+    "DistributedResult",
+    "DistributedSolver",
+    "LeaseQueue",
+    "QueueAudit",
+    "SubtreeTask",
+    "TaskEntry",
+    "audit_queue_journal",
+    "prefix_digest",
+    "replay_queue_journal",
+    "resume_distributed",
+    "solve_distributed",
+    "solve_subtree",
+    "split_instance",
+]

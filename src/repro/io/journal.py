@@ -30,7 +30,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 JOURNAL_VERSION = 1
 
@@ -77,9 +77,15 @@ def encode_record(
     kind: str,
     instance_id: Optional[str] = None,
     data: Optional[Dict[str, Any]] = None,
+    kinds: Sequence[str] = RECORD_KINDS,
 ) -> str:
-    """One journal line (no trailing newline) with an embedded checksum."""
-    if kind not in RECORD_KINDS:
+    """One journal line (no trailing newline) with an embedded checksum.
+
+    ``kinds`` is the vocabulary this journal speaks — the batch runtime's
+    :data:`RECORD_KINDS` by default; the distributed work queue journals
+    with its own kind set through the same envelope/checksum machinery.
+    """
+    if kind not in kinds:
         raise JournalError(f"unknown journal record kind {kind!r}")
     payload = {
         "seq": int(seq),
@@ -95,7 +101,7 @@ def encode_record(
     return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
 
 
-def decode_record(line: str) -> Dict[str, Any]:
+def decode_record(line: str, kinds: Sequence[str] = RECORD_KINDS) -> Dict[str, Any]:
     """Parse + verify one journal line; raises :class:`JournalError` on any
     corruption (bad JSON, wrong envelope, checksum mismatch)."""
     try:
@@ -115,7 +121,7 @@ def decode_record(line: str) -> Dict[str, Any]:
         raise JournalError(f"journal record missing field {exc}") from exc
     if raw.get("sha256") != _payload_checksum(payload):
         raise JournalError("journal record checksum mismatch")
-    if payload["kind"] not in RECORD_KINDS:
+    if payload["kind"] not in kinds:
         raise JournalError(f"unknown journal record kind {payload['kind']!r}")
     return payload
 
@@ -139,7 +145,9 @@ class JournalReadResult:
         return self.records[-1]["seq"] if self.records else 0
 
 
-def read_journal(path: str) -> JournalReadResult:
+def read_journal(
+    path: str, kinds: Sequence[str] = RECORD_KINDS
+) -> JournalReadResult:
     """Replay a journal file, tolerating a torn final record and skipping
     (but reporting) corruption anywhere else."""
     result = JournalReadResult()
@@ -158,7 +166,7 @@ def read_journal(path: str) -> JournalReadResult:
             result.corrupt.append((lineno, "blank line inside journal"))
             continue
         try:
-            record = decode_record(line)
+            record = decode_record(line, kinds)
             if record["seq"] <= last_seq:
                 raise JournalError(
                     f"sequence regressed: {record['seq']} after {last_seq}"
@@ -182,10 +190,17 @@ class JournalWriter:
     speed and exists for tests only.
     """
 
-    def __init__(self, path: str, start_seq: int = 0, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        start_seq: int = 0,
+        fsync: bool = True,
+        kinds: Sequence[str] = RECORD_KINDS,
+    ) -> None:
         self.path = path
         self._seq = int(start_seq)
         self._fsync = fsync
+        self._kinds = tuple(kinds)
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -205,7 +220,9 @@ class JournalWriter:
         if self._handle.closed:
             raise JournalError("journal writer is closed")
         self._seq += 1
-        self._handle.write(encode_record(self._seq, kind, instance_id, data))
+        self._handle.write(
+            encode_record(self._seq, kind, instance_id, data, self._kinds)
+        )
         self._handle.write("\n")
         self._handle.flush()
         if self._fsync:

@@ -138,6 +138,135 @@ class FaultPlan:
 NO_FAULTS = FaultPlan()
 
 
+@dataclass(frozen=True)
+class DistributedFaultPlan:
+    """Deterministic failure modes for the distributed tree search.
+
+    Where :class:`FaultPlan` injects inside one solver's search loop, this
+    plan injects at the coordinator/worker protocol layer of
+    :mod:`repro.distributed`, keyed on the *task order index* (the serial
+    DFS position of a subtree, 0-based).  Every trigger fires only on a
+    task's **first** lease (epoch 0), so the recovery path it provokes —
+    lease expiry, reissue, stale-claim rejection, certification refusal —
+    must succeed for the solve to come back correct:
+
+    * ``kill_at_task`` — the worker holding that subtree dies abruptly at
+      search node ``kill_at_node`` (a real ``os._exit`` in process
+      workers), exactly like a SIGKILL mid-subtree;
+    * ``stall_at_task`` — the worker stops making progress (and therefore
+      heartbeating) for ``stall_seconds``, long enough to outlive its
+      lease: the late claim must be rejected as stale;
+    * ``drop_heartbeats_at_task`` — a network-partition stand-in: the
+      worker keeps searching but its heartbeats never arrive;
+    * ``lie_at_task`` — the worker corrupts its claim (``lie_mode`` is
+      ``"flip_status"`` or ``"corrupt_positions"``): the coordinator's
+      certification gate must refute and quarantine it;
+    * ``coordinator_kill_after`` — the coordinator itself dies after
+      accepting that many claims; the run must come back via
+      ``--resume`` from the queue journal with no lost or double-counted
+      subtree.
+    """
+
+    kill_at_task: Optional[int] = None
+    kill_at_node: int = 2
+    stall_at_task: Optional[int] = None
+    stall_seconds: float = 1.0
+    drop_heartbeats_at_task: Optional[int] = None
+    lie_at_task: Optional[int] = None
+    lie_mode: str = "flip_status"
+    coordinator_kill_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "kill_at_task",
+            "stall_at_task",
+            "drop_heartbeats_at_task",
+            "lie_at_task",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be a task order index >= 0")
+        if self.kill_at_node < 1:
+            raise ValueError("kill_at_node must be a positive node count")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be non-negative")
+        if self.lie_mode not in ("flip_status", "corrupt_positions"):
+            raise ValueError(f"unknown lie_mode {self.lie_mode!r}")
+        if self.coordinator_kill_after is not None and (
+            self.coordinator_kill_after < 0
+        ):
+            raise ValueError("coordinator_kill_after must be >= 0")
+
+    def is_active(self) -> bool:
+        return any(
+            getattr(self, name) is not None
+            for name in (
+                "kill_at_task",
+                "stall_at_task",
+                "drop_heartbeats_at_task",
+                "lie_at_task",
+                "coordinator_kill_after",
+            )
+        )
+
+    # -- worker-side triggers (all first-lease only) -----------------------
+
+    def fires(self, trigger: str, order_index: int, epoch: int) -> bool:
+        return epoch == 0 and getattr(self, trigger) == order_index
+
+    def search_plan(self, order_index: int, epoch: int) -> Optional[FaultPlan]:
+        """The in-search :class:`FaultPlan` a worker runs this task under."""
+        if self.fires("kill_at_task", order_index, epoch):
+            return FaultPlan(kill_at_node=self.kill_at_node)
+        if self.fires("stall_at_task", order_index, epoch):
+            return FaultPlan(
+                stall_at_node=1, stall_seconds=self.stall_seconds
+            )
+        return None
+
+    def corrupt_claim(
+        self, claim: Dict[str, Any], order_index: int, epoch: int
+    ) -> Dict[str, Any]:
+        """A lying worker's version of ``claim`` (a copy; honest otherwise)."""
+        if not self.fires("lie_at_task", order_index, epoch):
+            return claim
+        forged = dict(claim)
+        if self.lie_mode == "flip_status":
+            if claim.get("status") == "sat":
+                forged["status"] = "unsat"
+                forged["positions"] = None
+            else:
+                # Fabricate a SAT claim: every box piled at the origin is
+                # never a feasible packing of a multi-box instance, so the
+                # certification gate must catch it.
+                forged["status"] = "sat"
+                forged["positions"] = [
+                    [0] * int(claim.get("dimensions", 3))
+                    for _ in range(int(claim.get("boxes", 2)))
+                ]
+        else:
+            positions = claim.get("positions")
+            if positions:
+                forged["positions"] = [list(p) for p in positions]
+                forged["positions"][0][0] += 1
+        return forged
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DistributedFaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown distributed fault-plan fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
 def plan_from_env() -> Optional[FaultPlan]:
     """Parse ``REPRO_FAULT_PLAN``; a malformed value is logged and ignored
     (an injection harness must never be able to break a production solve)."""

@@ -12,8 +12,14 @@ the batch proceeds normally.
 Memory is observed as the process RSS via ``/proc/self/statm`` (falling
 back to ``resource.getrusage`` high-water where /proc is unavailable, and
 to "unenforced" where neither exists — the trip reason then says so).  The
-probe is throttled to one read per ``PROBE_INTERVAL`` seconds, so the
-64-node poll cadence stays cheap.
+probe is throttled to one read per poll interval, so the 64-node poll
+cadence stays cheap.  The interval defaults to :data:`PROBE_INTERVAL`
+(0.05 s — a /proc read every 50 ms is invisible next to search work) and
+is configurable per watchdog (``Watchdog(..., poll_interval=...)``) or
+globally via the ``REPRO_WATCHDOG_POLL`` environment variable: a fast
+allocation spike can blow through a memory limit and get the process
+OOM-killed between two 50 ms probes, and a tightened interval is the knob
+that catches it.
 """
 
 from __future__ import annotations
@@ -23,11 +29,33 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-#: Seconds between memory probes (wall-clock checks are not throttled).
+#: Default seconds between memory probes (wall-clock checks are not
+#: throttled); override per watchdog with ``poll_interval=`` or globally
+#: with the ``REPRO_WATCHDOG_POLL`` environment variable.
 PROBE_INTERVAL = 0.05
+
+#: Environment override of the default memory-probe interval (seconds).
+POLL_ENV_VAR = "REPRO_WATCHDOG_POLL"
 
 TIME_TRIPPED = "wall-clock limit exceeded"
 MEMORY_TRIPPED = "memory limit exceeded"
+
+
+def default_poll_interval() -> float:
+    """The probe interval to use when none is given explicitly.
+
+    Reads ``REPRO_WATCHDOG_POLL``; a malformed or non-positive value is
+    ignored (a tuning knob must never be able to disarm the watchdog).
+    """
+    text = os.environ.get(POLL_ENV_VAR)
+    if text:
+        try:
+            value = float(text)
+        except ValueError:
+            return PROBE_INTERVAL
+        if value > 0:
+            return value
+    return PROBE_INTERVAL
 
 _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
 
@@ -77,6 +105,11 @@ class Watchdog:
     ``clock`` and ``memory_probe`` are injectable for deterministic tests.
     ``tripped`` holds ``"timed-out"`` / ``"memory-limited"`` (the journal's
     terminal kinds) once a limit fires; ``detail`` the human reason.
+
+    ``poll_interval`` is the memory-probe throttle in seconds; the default
+    (``None``) resolves :data:`PROBE_INTERVAL` through the
+    ``REPRO_WATCHDOG_POLL`` environment override.  Tighten it for
+    workloads whose allocation spikes outrun the 50 ms default.
     """
 
     def __init__(
@@ -84,10 +117,18 @@ class Watchdog:
         limits: WatchdogLimits,
         clock: Callable[[], float] = time.monotonic,
         memory_probe: Callable[[], Optional[int]] = current_rss_bytes,
+        poll_interval: Optional[float] = None,
     ) -> None:
+        if poll_interval is not None and poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
         self.limits = limits
         self._clock = clock
         self._memory_probe = memory_probe
+        self.poll_interval = (
+            poll_interval if poll_interval is not None else default_poll_interval()
+        )
         self.started = clock()
         self.tripped: Optional[str] = None
         self.detail: str = ""
@@ -115,7 +156,7 @@ class Watchdog:
             )
             return self.tripped
         if self.limits.memory_limit_mb is not None and now >= self._next_probe:
-            self._next_probe = now + PROBE_INTERVAL
+            self._next_probe = now + self.poll_interval
             rss = self._memory_probe()
             if rss is not None and rss > self.limits.memory_limit_mb * 1024 * 1024:
                 self.tripped = "memory-limited"

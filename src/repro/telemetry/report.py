@@ -78,6 +78,24 @@ def summarize(telemetry: Any) -> Dict[str, Any]:
         "batch_replayed": counters.get("batch.replayed", 0),
         "batch_checkpoints": counters.get("batch.checkpoints", 0),
         "batch_incidents": counters.get("batch.incidents", 0),
+        "distributed_tasks": counters.get("distributed.tasks", 0),
+        "distributed_completed": counters.get("distributed.completed", 0),
+        "distributed_cancelled": counters.get("distributed.cancelled", 0),
+        "distributed_abandoned": counters.get("distributed.abandoned", 0),
+        "distributed_leases": counters.get("distributed.leases", 0),
+        "distributed_reissues": counters.get("distributed.reissues", 0),
+        "distributed_stale_claims": counters.get(
+            "distributed.stale_claims", 0
+        ),
+        "distributed_refuted_claims": counters.get(
+            "distributed.refuted_claims", 0
+        ),
+        "distributed_wasted_nodes": counters.get(
+            "distributed.wasted_nodes", 0
+        ),
+        "distributed_respawns": counters.get(
+            "distributed.workers_respawned", 0
+        ),
         "spans": dict(span_names),
     }
 
@@ -151,6 +169,28 @@ def render(telemetry: Any) -> str:
             + (
                 f", incidents: {s['batch_incidents']}"
                 if s["batch_incidents"]
+                else ""
+            )
+            + ")"
+        )
+    if s["distributed_tasks"]:
+        lines.append(
+            f"distributed:        {s['distributed_tasks']} subtrees"
+            f"  (completed: {s['distributed_completed']}, "
+            f"cancelled: {s['distributed_cancelled']}, "
+            f"abandoned: {s['distributed_abandoned']}, "
+            f"leases: {s['distributed_leases']}, "
+            f"reissues: {s['distributed_reissues']}, "
+            f"stale claims: {s['distributed_stale_claims']}, "
+            f"refuted: {s['distributed_refuted_claims']}"
+            + (
+                f", wasted nodes: {s['distributed_wasted_nodes']}"
+                if s["distributed_wasted_nodes"]
+                else ""
+            )
+            + (
+                f", respawns: {s['distributed_respawns']}"
+                if s["distributed_respawns"]
                 else ""
             )
             + ")"

@@ -164,6 +164,85 @@ class TestWatchdog:
             WatchdogLimits(memory_limit_mb=-5)
 
 
+class TestWatchdogPollInterval:
+    """The memory-probe throttle (``poll_interval`` / REPRO_WATCHDOG_POLL).
+
+    The regression scenario: an allocation spike that rises and falls
+    entirely *between* two probes at the default 50 ms cadence is invisible
+    — the process would be OOM-killed before the watchdog ever saw it — and
+    a tightened interval is what catches it.
+    """
+
+    class _Clock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def _spiking_watchdog(self, **kwargs):
+        """RSS spikes to 64 MiB only during (0.015s, 0.035s); 32 MiB limit."""
+        from repro.runtime.watchdog import Watchdog
+
+        clock = self._Clock()
+        probe = lambda: (
+            64 * 1024 * 1024 if 0.015 <= clock.now <= 0.035 else 1024 * 1024
+        )
+        dog = Watchdog(
+            WatchdogLimits(memory_limit_mb=32),
+            clock=clock,
+            memory_probe=probe,
+            **kwargs,
+        )
+        return dog, clock
+
+    def _drive(self, dog, clock):
+        for step in range(21):  # 5 ms cadence across the first 100 ms
+            clock.now = step * 0.005
+            if dog.check() is not None:
+                break
+        return dog.tripped
+
+    def test_default_interval_misses_a_fast_spike(self):
+        dog, clock = self._spiking_watchdog()
+        assert dog.poll_interval == 0.05
+        assert self._drive(dog, clock) is None
+
+    def test_tight_interval_catches_the_same_spike(self):
+        dog, clock = self._spiking_watchdog(poll_interval=0.01)
+        assert self._drive(dog, clock) == "memory-limited"
+
+    def test_env_override_tightens_the_default(self, monkeypatch):
+        from repro.runtime.watchdog import POLL_ENV_VAR
+
+        monkeypatch.setenv(POLL_ENV_VAR, "0.01")
+        dog, clock = self._spiking_watchdog()
+        assert dog.poll_interval == 0.01
+        assert self._drive(dog, clock) == "memory-limited"
+
+    def test_malformed_env_override_is_ignored(self, monkeypatch):
+        from repro.runtime.watchdog import (
+            POLL_ENV_VAR,
+            PROBE_INTERVAL,
+            default_poll_interval,
+        )
+
+        for bad in ("banana", "-1", "0", ""):
+            monkeypatch.setenv(POLL_ENV_VAR, bad)
+            assert default_poll_interval() == PROBE_INTERVAL
+
+    def test_explicit_interval_beats_the_env(self, monkeypatch):
+        from repro.runtime.watchdog import POLL_ENV_VAR
+
+        monkeypatch.setenv(POLL_ENV_VAR, "0.5")
+        dog, _ = self._spiking_watchdog(poll_interval=0.01)
+        assert dog.poll_interval == 0.01
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError, match="poll_interval"):
+            self._spiking_watchdog(poll_interval=0.0)
+
+
 class TestBatchRun:
     def test_journal_records_full_lifecycle(self, tmp_path):
         entries = [ManifestEntry("s", _sat()), ManifestEntry("u", _unsat())]

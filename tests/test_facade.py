@@ -229,10 +229,15 @@ class TestPublicApiSnapshot:
             "run_batch",
             "certify_batch_dir",
             "certify_payload",
+            "DistributedOptions",
+            "DistributedResult",
+            "solve_distributed",
+            "resume_distributed",
             "api",
             "baselines",
             "certify",
             "core",
+            "distributed",
             "fpga",
             "graphs",
             "heuristics",

@@ -534,9 +534,13 @@ class TestLearningDifferential:
         # from round zero.
         assert resumed.stats.restarts + checkpoint.restart_round >= 0
 
-    def test_checkpoint_without_learning_ignores_stored_nogoods(self):
-        # A learning run's checkpoint replayed into a learning-off solver
-        # must still resume soundly (the store is simply dropped).
+    def test_checkpoint_without_learning_refuses_mid_restart_resume(self):
+        # A checkpoint taken mid-restart-schedule by a learning run was
+        # searched under its nogood store; replaying it into a learning-off
+        # solver would silently drop that restart context, so the resume
+        # refuses loudly with a structured CheckpointMismatch.  Re-enabling
+        # learning resumes soundly.
+        from repro.core.search import CheckpointMismatch
         from repro.parallel.faults import FaultPlan
 
         inst = self._searchy_instance()
@@ -549,8 +553,18 @@ class TestLearningDifferential:
             ),
         )
         assert interrupted.checkpoint is not None
+        assert interrupted.checkpoint.restart_round > 0
+        with pytest.raises(CheckpointMismatch, match="restart"):
+            solve_opp(
+                inst, options=_options("bitmask"),
+                resume_from=interrupted.checkpoint,
+            )
         resumed = solve_opp(
-            inst, options=_options("bitmask"),
+            inst,
+            options=_options(
+                "bitmask",
+                learning=LearningOptions(enabled=True, restart_base=2),
+            ),
             resume_from=interrupted.checkpoint,
         )
         clean = solve_opp(inst, options=_options("bitmask"))
