@@ -170,6 +170,8 @@ def solve(
     max_side: Optional[int] = None,
     with_dependencies: bool = True,
     options: Optional[SolverOptions] = None,
+    kernel: Optional[str] = None,
+    learning: Optional[Any] = None,
     workers: Optional[int] = None,
     backend: str = "auto",
     cache: Optional[Any] = None,
@@ -187,18 +189,50 @@ def solve(
     ``backend`` (portfolio racing per OPP decision when ``workers > 1``),
     ``cache``, ``time_limit`` (opp only), ``deadline_budget`` (sweeps),
     ``telemetry`` (a :class:`~repro.telemetry.Telemetry` or ``True``).
+
+    ``kernel`` names the propagation engine every OPP decision runs on —
+    any name from :func:`repro.core.available_kernels` (``"bitmask"``,
+    ``"vector"`` when NumPy is installed, ``"reference"``, plus
+    third-party registrations); ``learning`` switches conflict learning
+    (``True``/``False`` or a :class:`~repro.core.nogoods.LearningOptions`).
+    Both are shorthand that overrides the corresponding field of
+    ``options`` — with ``workers > 1`` the override applies to every
+    portfolio entrant.
     """
     key = _canonical_problem(problem)
+    overrides = {}
+    if kernel is not None:
+        overrides["kernel"] = kernel
+    if learning is not None:
+        overrides["learning"] = learning
+    if overrides:
+        # dataclasses.replace re-runs __post_init__, so bad kernel names
+        # raise UnknownKernelError here, before any solving starts.
+        options = _replace(options or SolverOptions(), **overrides)
     telemetry = _coerce_telemetry(telemetry)
     if cache is not None and hasattr(cache, "instrument"):
         cache.instrument(telemetry)
 
     portfolio = None
     if workers is not None and workers > 1:
-        from .parallel.portfolio import PortfolioSolver
+        from .parallel.portfolio import (
+            PortfolioConfig,
+            PortfolioSolver,
+            default_portfolio,
+        )
 
+        configs = None
+        if overrides:
+            configs = [
+                PortfolioConfig(c.name, _replace(c.options, **overrides))
+                for c in default_portfolio()
+            ]
         portfolio = PortfolioSolver(
-            workers=workers, cache=cache, backend=backend, telemetry=telemetry
+            configs=configs,
+            workers=workers,
+            cache=cache,
+            backend=backend,
+            telemetry=telemetry,
         )
     try:
         if key == "opp":

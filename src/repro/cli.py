@@ -29,6 +29,7 @@ import time
 from typing import List, Optional
 
 from .core.bmp import minimize_base
+from .core.kernels import available as available_kernels
 from .core.nogoods import LearningOptions
 from .core.opp import SolverOptions, solve_opp
 from .fpga import explore_tradeoffs, minimize_latency, place, square_chip
@@ -700,9 +701,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-limit", type=float, default=None, help="seconds before giving up"
     )
     solve.add_argument(
-        "--kernel", choices=("bitmask", "reference"), default="bitmask",
-        help="search kernel: word-parallel bitsets (default) or the "
-        "object-per-edge reference oracle (see docs/performance.md)",
+        "--kernel", choices=available_kernels(), default="bitmask",
+        help="search kernel from the registry (default: bitmask; see "
+        "docs/performance.md)",
     )
     solve.add_argument(
         "--learning", action=argparse.BooleanOptionalAction, default=False,
@@ -734,9 +735,9 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-OPP seconds before giving up",
         )
         cmd.add_argument(
-            "--kernel", choices=("bitmask", "reference"), default="bitmask",
-            help="search kernel: word-parallel bitsets (default) or the "
-            "object-per-edge reference oracle (see docs/performance.md)",
+            "--kernel", choices=available_kernels(), default="bitmask",
+            help="search kernel from the registry (default: bitmask; see "
+            "docs/performance.md)",
         )
         cmd.add_argument(
             "--learning", action=argparse.BooleanOptionalAction,
@@ -825,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="race the solver portfolio on N workers per instance",
     )
     batch.add_argument(
-        "--kernel", choices=("bitmask", "reference"), default="bitmask",
+        "--kernel", choices=available_kernels(), default="bitmask",
         help="search kernel for the solves",
     )
     batch.add_argument(
@@ -914,7 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-subtree seconds before a worker gives up",
     )
     dsolve.add_argument(
-        "--kernel", choices=("bitmask", "reference"), default="bitmask",
+        "--kernel", choices=available_kernels(), default="bitmask",
         help="search kernel for the workers",
     )
     dsolve.add_argument(

@@ -10,7 +10,15 @@ from .boxes import (
     intervals_overlap,
     make_instance,
 )
-from .bitmask import KERNELS, BitmaskEdgeStateModel, make_model
+from .bitmask import BitmaskEdgeStateModel
+from .kernels import (
+    EngineProtocol,
+    UnknownKernelError,
+    available_kernels,
+    get_kernel,
+    make_model,
+    register_kernel,
+)
 from .bounds import (
     ALL_BOUNDS,
     BOUND_NAMES,
@@ -97,7 +105,12 @@ __all__ = [
     "BOUND_NAMES",
     "KERNELS",
     "BitmaskEdgeStateModel",
+    "EngineProtocol",
+    "UnknownKernelError",
+    "available_kernels",
+    "get_kernel",
     "make_model",
+    "register_kernel",
     "conflict_schedule_bound",
     "critical_path_bound",
     "dff_volume_bound",
@@ -165,3 +178,11 @@ __all__ = [
     "search_fingerprint",
     "minimize_makespan",
 ]
+
+
+def __getattr__(name: str):
+    # ``KERNELS`` reflects the live registry so it extends automatically
+    # when kernels register or their requirements become available.
+    if name == "KERNELS":
+        return available_kernels()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -70,21 +70,30 @@ except AttributeError:  # pragma: no cover - exercised on 3.9 CI only
         return bin(x).count("1")
 
 
-#: Valid values for the ``kernel=`` option of the search and the solver.
-KERNELS = ("bitmask", "reference")
-
-
 def make_model(
     instance: PackingInstance,
     options: Optional[PropagationOptions] = None,
     kernel: str = "bitmask",
 ) -> EdgeStateModel:
-    """Instantiate the requested search kernel for one instance."""
-    if kernel == "bitmask":
-        return BitmaskEdgeStateModel(instance, options)
-    if kernel == "reference":
-        return EdgeStateModel(instance, options)
-    raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    """Instantiate the requested search kernel for one instance.
+
+    Delegates to :func:`repro.core.kernels.make_model`; kept here because
+    this module historically was the kernel dispatch point.
+    """
+    from .kernels import make_model as _make_model
+
+    return _make_model(instance, options, kernel)
+
+
+def __getattr__(name: str):
+    # ``KERNELS`` used to be a hardcoded tuple here; it now reflects the
+    # registry (``repro.core.kernels.available()``) so parametrized tests
+    # and benches pick up newly registered kernels automatically.
+    if name == "KERNELS":
+        from .kernels import available
+
+        return available()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class BitmaskEdgeStateModel(EdgeStateModel):
@@ -510,6 +519,15 @@ class BitmaskEdgeStateModel(EdgeStateModel):
 
     def comparability_graph(self, axis: int) -> Graph:
         return self._graph_from_masks(self._cmpb[axis])
+
+    def component_masks(self, axis: int) -> List[int]:
+        """Component adjacency as per-vertex bitmasks — a live, read-only
+        view (do not mutate).  Lets the leaf verifier skip Graph objects."""
+        return self._comp[axis]
+
+    def comparability_masks(self, axis: int) -> List[int]:
+        """Comparability adjacency as per-vertex bitmasks (read-only)."""
+        return self._cmpb[axis]
 
     def _graph_from_masks(self, masks: List[int]) -> Graph:
         g = Graph(self.n)

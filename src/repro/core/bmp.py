@@ -71,6 +71,14 @@ class _ProbeRunner:
         self.telemetry = _coerce_telemetry(telemetry)
         self.started = time.monotonic()
         self.resume_slices = 0
+        # Which propagation engine the probes run on: a delegated solver
+        # (portfolio) owns its own per-entrant options, so the label says
+        # so instead of guessing.
+        self.kernel = (
+            "delegated"
+            if opp_solver is not None
+            else (options or SolverOptions()).kernel
+        )
         self._solver_kwargs = (
             self._supported_kwargs(opp_solver) if opp_solver is not None else frozenset()
         )
@@ -177,7 +185,10 @@ class _ProbeRunner:
         telemetry = self.telemetry
         before = self.resume_slices
         with telemetry.span(
-            "probe", value=value, container=list(instance.container.sizes)
+            "probe",
+            value=value,
+            container=list(instance.container.sizes),
+            kernel=self.kernel,
         ) as span:
             start = time.monotonic()
             opp = self.solve(instance)

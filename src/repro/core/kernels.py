@@ -1,0 +1,295 @@
+"""First-class kernel registry: every propagation engine is a named peer.
+
+The search used to hardcode a ``KERNELS`` tuple; this module replaces it
+with a registry so built-in engines (``reference``, ``bitmask``,
+``vector``) and third-party engines resolve through one surface:
+
+* :func:`register` — add a kernel under a name (import-time call).
+* :func:`get` — resolve a name to its factory; unknown names raise
+  :class:`UnknownKernelError`, which auto-lists the registered names.
+* :func:`available` — the names usable *right now*, in registration
+  order; kernels with unmet requirements (e.g. ``vector`` without
+  NumPy) are listed only once their probe passes.
+* :func:`make_model` — instantiate a kernel for one instance (the seam
+  used by :class:`~repro.core.search.BranchAndBound`).
+
+Third-party kernels can also ship an entry point in the
+``repro.kernels`` group::
+
+    [project.entry-points."repro.kernels"]
+    mykernel = "mypkg.engine:make_engine"
+
+Entry points are loaded lazily on the first registry query; a broken
+entry point is skipped rather than breaking every solve.
+
+The engine protocol
+-------------------
+
+A kernel factory takes ``(instance, options)`` — a
+:class:`~repro.core.boxes.PackingInstance` and a
+:class:`~repro.core.edgestate.PropagationOptions` (or ``None``) — and
+returns an engine implementing :class:`EngineProtocol`: the mutable
+search state the branch-and-bound drives.  The required surface is the
+abstract methods of the ABC below plus four documented attributes:
+
+``kernel_name``
+    The registry name the engine answers to (``str``).
+``state`` / ``orient``
+    Nested ``[axis][u][v]`` arrays of edge states and arc orientations
+    — the branching heuristics read these directly.
+``stats``
+    A :class:`~repro.core.edgestate.PropagationStats`.
+``options``
+    The :class:`~repro.core.edgestate.PropagationOptions` in force.
+
+Engines must be *node-for-node identical* to the reference kernel:
+same propagation fixpoints, same conflicts, same counter increments —
+the differential suite (``tests/test_kernel_differential.py``) holds
+every registered built-in to that bar, and checkpoints move freely
+between kernels because of it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .boxes import PackingInstance
+from .edgestate import EdgeStateModel, PropagationOptions
+
+__all__ = [
+    "EngineProtocol",
+    "KernelFactory",
+    "UnknownKernelError",
+    "available",
+    "available_kernels",
+    "get",
+    "get_kernel",
+    "make_model",
+    "register",
+    "register_kernel",
+]
+
+#: ``(instance, options) -> engine`` — the contract a registered kernel
+#: factory fulfils.
+KernelFactory = Callable[
+    [PackingInstance, Optional[PropagationOptions]], "EngineProtocol"
+]
+
+#: The entry-point group third-party packages use to auto-register.
+ENTRY_POINT_GROUP = "repro.kernels"
+
+
+class UnknownKernelError(ValueError):
+    """A kernel name that is not registered (or whose probe fails)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown kernel {name!r}; expected one of {available()}"
+        )
+        self.kernel = name
+
+
+class _Entry:
+    __slots__ = ("factory", "probe", "_probed")
+
+    def __init__(
+        self,
+        factory: KernelFactory,
+        probe: Optional[Callable[[], bool]],
+    ) -> None:
+        self.factory = factory
+        self.probe = probe
+        self._probed: Optional[bool] = None
+
+    def usable(self) -> bool:
+        if self.probe is None:
+            return True
+        if self._probed is None:
+            self._probed = bool(self.probe())
+        return self._probed
+
+
+_registry: Dict[str, _Entry] = {}
+_entry_points_loaded = False
+
+
+def register(
+    name: str,
+    factory: KernelFactory,
+    *,
+    probe: Optional[Callable[[], bool]] = None,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    ``probe`` is an optional zero-argument callable deciding (once,
+    cached) whether the kernel's requirements are met; kernels whose
+    probe returns ``False`` are hidden from :func:`available` and
+    unresolvable through :func:`get`.  Re-registering an existing name
+    raises unless ``replace=True``.
+    """
+    if not replace and name in _registry:
+        raise ValueError(f"kernel {name!r} is already registered")
+    _registry[name] = _Entry(factory, probe)
+
+
+def _load_entry_points() -> None:
+    """Best-effort discovery of third-party kernels (once per process)."""
+    global _entry_points_loaded
+    if _entry_points_loaded:
+        return
+    _entry_points_loaded = True
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return
+    try:
+        try:  # Python >= 3.10: selectable entry points
+            eps = entry_points(group=ENTRY_POINT_GROUP)
+        except TypeError:  # pragma: no cover - 3.9 fallback
+            eps = entry_points().get(ENTRY_POINT_GROUP, [])
+    except Exception:  # pragma: no cover - corrupt metadata
+        return
+    for ep in eps:
+        if ep.name in _registry:
+            continue
+        try:
+            register(ep.name, ep.load())
+        except Exception:
+            # A broken third-party kernel must not break every solve.
+            continue
+
+
+def available() -> Tuple[str, ...]:
+    """Registered kernel names whose requirements are met, in order."""
+    _load_entry_points()
+    return tuple(
+        name for name, entry in _registry.items() if entry.usable()
+    )
+
+
+def get(name: str) -> KernelFactory:
+    """Resolve a kernel name to its factory.
+
+    Raises :class:`UnknownKernelError` (a :class:`ValueError`) for
+    unregistered names and for kernels whose probe fails, listing the
+    names that *would* work.
+    """
+    _load_entry_points()
+    entry = _registry.get(name)
+    if entry is None or not entry.usable():
+        raise UnknownKernelError(name)
+    return entry.factory
+
+
+def make_model(
+    instance: PackingInstance,
+    options: Optional[PropagationOptions] = None,
+    kernel: str = "bitmask",
+) -> "EngineProtocol":
+    """Instantiate the requested search kernel for one instance."""
+    return get(kernel)(instance, options)
+
+
+class EngineProtocol(ABC):
+    """The surface a propagation engine exposes to the search.
+
+    The reference implementation is
+    :class:`~repro.core.edgestate.EdgeStateModel` (registered as a
+    virtual subclass); ``bitmask`` and ``vector`` are drop-in peers.
+    See the module docstring for the documented attributes
+    (``kernel_name``, ``state``, ``orient``, ``stats``, ``options``).
+    """
+
+    @abstractmethod
+    def seed(self) -> None:
+        """Initial propagation; raises ``Conflict`` on root infeasibility."""
+
+    @abstractmethod
+    def mark(self) -> int:
+        """Snapshot the trail position for a later :meth:`rollback`."""
+
+    @abstractmethod
+    def rollback(self, mark: int) -> None:
+        """Undo every assignment past ``mark`` (chronological backtrack)."""
+
+    @abstractmethod
+    def assign_state(
+        self, axis: int, u: int, v: int, value: int, propagate: bool = True
+    ) -> None:
+        """Fix a pair's edge state and (optionally) propagate."""
+
+    @abstractmethod
+    def assign_arc(
+        self, axis: int, a: int, b: int, propagate: bool = True
+    ) -> None:
+        """Fix orientation ``a -> b`` (implies COMPARABILITY)."""
+
+    @abstractmethod
+    def propagate(self) -> None:
+        """Drain the propagation queue; raises ``Conflict`` on failure."""
+
+    @abstractmethod
+    def component_graph(self, axis: int):
+        """The graph of fixed COMPONENT edges on one axis."""
+
+    @abstractmethod
+    def comparability_graph(self, axis: int):
+        """The graph of fixed COMPARABILITY edges on one axis."""
+
+    @abstractmethod
+    def oriented_arcs(self, axis: int) -> List[Tuple[int, int]]:
+        """All fixed arc orientations on one axis."""
+
+    @abstractmethod
+    def undecided(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over undecided ``(axis, u, v)`` triples."""
+
+    @abstractmethod
+    def is_complete(self) -> bool:
+        """True iff every pair is decided on every axis."""
+
+
+EngineProtocol.register(EdgeStateModel)
+
+
+# -- built-in kernels ---------------------------------------------------------
+
+def _reference_factory(
+    instance: PackingInstance, options: Optional[PropagationOptions] = None
+) -> EdgeStateModel:
+    return EdgeStateModel(instance, options)
+
+
+def _bitmask_factory(
+    instance: PackingInstance, options: Optional[PropagationOptions] = None
+) -> EdgeStateModel:
+    from .bitmask import BitmaskEdgeStateModel
+
+    return BitmaskEdgeStateModel(instance, options)
+
+
+def _vector_factory(
+    instance: PackingInstance, options: Optional[PropagationOptions] = None
+) -> EdgeStateModel:
+    from .vector import VectorEdgeStateModel
+
+    return VectorEdgeStateModel(instance, options)
+
+
+def _have_numpy() -> bool:
+    return importlib.util.find_spec("numpy") is not None
+
+
+# Registration order is presentation order: production default first,
+# then the vectorized engine, then the oracle.
+register("bitmask", _bitmask_factory)
+register("vector", _vector_factory, probe=_have_numpy)
+register("reference", _reference_factory)
+
+# Aliases for flat-namespace re-export (``from repro.core import ...``).
+available_kernels = available
+get_kernel = get
+register_kernel = register

@@ -142,6 +142,34 @@ class Nogood:
     activity: float = 0.0
     hits: int = 0
 
+    def packed_masks(self, pair_bit) -> Optional[Tuple[int, int]]:
+        """The literal set as ``(component_bits, comparability_bits)``.
+
+        ``pair_bit`` is a kernel's ``[axis][u][v] -> bit`` table (see
+        ``VectorEdgeStateModel.pair_tables``).  Computed once per nogood —
+        the literal set is immutable — and cached on the instance; the
+        cache is per-search because stores are.  Returns ``None`` for the
+        degenerate case of contradictory literals on one pair, which the
+        scalar matcher can never match or unit-force either.
+        """
+        try:
+            return self._packed
+        except AttributeError:
+            pass
+        comp_mask = 0
+        cmpb_mask = 0
+        for axis, u, v, value in self.literals:
+            bit = pair_bit[axis][u][v]
+            if value == COMPONENT:
+                comp_mask |= bit
+            else:
+                cmpb_mask |= bit
+        packed: Optional[Tuple[int, int]] = (comp_mask, cmpb_mask)
+        if comp_mask & cmpb_mask:
+            packed = None
+        self._packed = packed
+        return packed
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "literals": [list(lit) for lit in self.literals],

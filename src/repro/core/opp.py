@@ -23,7 +23,7 @@ from typing import Callable, List, Optional
 
 from .._compat import keyword_only
 from ..telemetry import coerce as _coerce_telemetry
-from .bitmask import KERNELS
+from .kernels import UnknownKernelError, available as available_kernels
 from .boxes import PackingInstance, Placement
 from .bounds import BOUND_NAMES, prove_infeasible_named
 from .edgestate import PropagationOptions
@@ -89,10 +89,8 @@ class SolverOptions:
             raise ValueError(
                 f"node_limit must be non-negative, got {self.node_limit}"
             )
-        if self.kernel not in KERNELS:
-            raise ValueError(
-                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
-            )
+        if self.kernel not in available_kernels():
+            raise UnknownKernelError(self.kernel)
         self.disabled_bounds = tuple(self.disabled_bounds)
         unknown = [n for n in self.disabled_bounds if n not in BOUND_NAMES]
         if unknown:
@@ -295,7 +293,9 @@ def solve_opp(
                 OPPResult(status=SAT, placement=placement, stage="annealing")
             )
 
-    with telemetry.span("search", resumed=resume_from is not None) as span:
+    with telemetry.span(
+        "search", resumed=resume_from is not None, kernel=options.kernel
+    ) as span:
         solver = BranchAndBound(
             instance,
             propagation=options.propagation,

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..graphs.comparability import extend_transitive_orientation
+from ..graphs.comparability import (
+    extend_orientation_masks,
+    extend_transitive_orientation,
+)
 from ..graphs.graph import Graph
 from .boxes import PackingInstance, Placement
 
@@ -77,6 +80,30 @@ def extract_placement(
     for axis in range(instance.dimensions):
         comparability = component_graphs[axis].complement()
         arcs = extend_transitive_orientation(comparability, forced_arcs[axis])
+        if arcs is None:
+            return None
+        orientations.append(arcs)
+    return placement_from_orientations(instance, orientations)
+
+
+def extract_placement_masks(
+    instance: PackingInstance,
+    comparability_masks: Sequence[Sequence[int]],
+    forced_arcs: Sequence[Sequence[Arc]],
+) -> Optional[Placement]:
+    """Bitmask counterpart of :func:`extract_placement`.
+
+    Takes the per-axis comparability adjacency directly as vertex masks
+    (the mask kernels maintain it incrementally — no Graph construction or
+    complementation needed).  ``None``/non-``None`` agrees with
+    :func:`extract_placement` on the same assignment, because whether an
+    extension exists is a property of the graph, not the engine.
+    """
+    orientations: List[List[Arc]] = []
+    for axis in range(instance.dimensions):
+        arcs = extend_orientation_masks(
+            instance.n, list(comparability_masks[axis]), forced_arcs[axis]
+        )
         if arcs is None:
             return None
         orientations.append(arcs)

@@ -27,10 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..graphs.chordal import is_chordal
+from ..graphs.chordal import is_chordal, is_chordal_masks
 from ..telemetry import NODE_SAMPLE_INTERVAL, NO_TELEMETRY
 from .boxes import PackingInstance, Placement
-from .bitmask import KERNELS, make_model
+from .kernels import get as get_kernel, make_model
 from .edgestate import (
     COMPARABILITY,
     COMPONENT,
@@ -45,7 +45,7 @@ from .nogoods import (
     luby,
     opposite_state,
 )
-from .placement import extract_placement
+from .placement import extract_placement, extract_placement_masks
 
 
 class LimitReached(Exception):
@@ -441,10 +441,7 @@ class BranchAndBound:
         from this run's stats (the splitter already counted them)."""
         self.instance = instance
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
-        if kernel not in KERNELS:
-            raise ValueError(
-                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
-            )
+        get_kernel(kernel)  # raises UnknownKernelError on bad names
         self.kernel = kernel
         if pre_states or pre_arcs:
             from dataclasses import replace
@@ -982,8 +979,15 @@ class BranchAndBound:
         forcing loops to a fixpoint because each forced state can make
         further nogoods unit.  All assignments land on the model trail after
         the caller's mark, so the ordinary rollback undoes them.
+
+        Kernels exposing a packed pair state (``vector``) are matched
+        word-parallel through :meth:`_apply_nogoods_packed` — identical
+        outcomes, bump order, and forcing order.
         """
         from .edgestate import UNDECIDED
+
+        if getattr(self.model, "packed_pair_state", None) is not None:
+            return self._apply_nogoods_packed()
 
         store = self._store
         state = self.model.state
@@ -1015,6 +1019,49 @@ class BranchAndBound:
                 except Conflict:
                     # The complement is refuted too: the node is dead either
                     # way.  The caller's rollback cleans the partial trail.
+                    return True
+                self.stats.nogood_forcings += 1
+                changed = True
+        return False
+
+    def _apply_nogoods_packed(self) -> bool:
+        """Word-parallel nogood filter for kernels with a packed pair state.
+
+        Each nogood is two precomputed bit masks (component literals /
+        comparability literals) over the model's flat pair bits; mismatch,
+        full-match, and unit detection are a handful of integer operations
+        per nogood instead of a Python literal loop.  Semantics — store
+        iteration order, bump order, forcing order, the while-changed
+        fixpoint — are identical to the scalar path.
+        """
+        store = self._store
+        model = self.model
+        pair_bit, pair_of_bit = model.pair_tables()
+        changed = True
+        while changed:
+            changed = False
+            for nogood in store.nogoods:
+                masks = nogood.packed_masks(pair_bit)
+                if masks is None:
+                    # Contradictory literals on one pair: the scalar loop
+                    # can never match or unit-force it either.
+                    continue
+                ng_comp, ng_cmpb = masks
+                cur_comp, cur_cmpb = model.packed_pair_state()
+                if (ng_comp & cur_cmpb) | (ng_cmpb & cur_comp):
+                    continue  # some literal is decided the other way
+                undec = (ng_comp | ng_cmpb) & ~(cur_comp | cur_cmpb)
+                if not undec:
+                    store.bump(nogood)
+                    return True
+                if undec & (undec - 1):
+                    continue  # two or more literals still open
+                axis, u, v = pair_of_bit[undec.bit_length() - 1]
+                value = COMPONENT if ng_comp & undec else COMPARABILITY
+                store.bump(nogood)
+                try:
+                    model.assign_state(axis, u, v, opposite_state(value))
+                except Conflict:
                     return True
                 self.stats.nogood_forcings += 1
                 changed = True
@@ -1114,17 +1161,38 @@ class BranchAndBound:
     def _verify_leaf(self) -> Optional[Placement]:
         self.stats.leaves += 1
         model = self.model
-        component_graphs = [
-            model.component_graph(axis) for axis in range(self.instance.dimensions)
-        ]
-        for g in component_graphs:
-            if not is_chordal(g):
-                self.stats.leaf_failures += 1
-                return None
-        forced = [
-            model.oriented_arcs(axis) for axis in range(self.instance.dimensions)
-        ]
-        placement = extract_placement(self.instance, component_graphs, forced)
+        dimensions = self.instance.dimensions
+        if hasattr(model, "component_masks"):
+            # Mask kernels expose their adjacency directly; verify the leaf
+            # on the masks without materializing Graph objects.  Chordality
+            # and orientation-extendability are graph properties, so the
+            # pass/fail outcome (and hence every counter) is identical to
+            # the Graph path the reference kernel takes below.
+            n = self.instance.n
+            for axis in range(dimensions):
+                if not is_chordal_masks(model.component_masks(axis), n):
+                    self.stats.leaf_failures += 1
+                    return None
+            forced = [model.oriented_arcs(axis) for axis in range(dimensions)]
+            placement = extract_placement_masks(
+                self.instance,
+                [model.comparability_masks(axis) for axis in range(dimensions)],
+                forced,
+            )
+        else:
+            component_graphs = [
+                model.component_graph(axis) for axis in range(dimensions)
+            ]
+            for g in component_graphs:
+                if not is_chordal(g):
+                    self.stats.leaf_failures += 1
+                    return None
+            forced = [
+                model.oriented_arcs(axis) for axis in range(dimensions)
+            ]
+            placement = extract_placement(
+                self.instance, component_graphs, forced
+            )
         if placement is None:
             self.stats.leaf_failures += 1
             return None

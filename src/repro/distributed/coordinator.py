@@ -1003,7 +1003,10 @@ class DistributedSolver:
                 if value:
                     self.telemetry.counter(name).add(value)
             self.telemetry.event(
-                "distributed.merge", status=status, sat_order=sat_order
+                "distributed.merge",
+                status=status,
+                sat_order=sat_order,
+                kernel=self.options.solver.kernel,
             )
 
         return DistributedResult(

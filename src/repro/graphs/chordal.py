@@ -87,6 +87,73 @@ def is_chordal(graph: Graph) -> bool:
     return is_perfect_elimination_order(graph, order)
 
 
+def lex_bfs_masks(adj: Sequence[int], n: int, start: int = 0) -> List[int]:
+    """Lex-BFS over a bitmask adjacency (``adj[v]`` has bit ``u`` set for
+    each neighbour ``u``).  Same partition-refinement scheme as
+    :func:`lex_bfs`, with cells held as vertex masks — no set objects are
+    allocated, which matters on the search's leaf-verification hot path."""
+    if n == 0:
+        return []
+    cells = [((1 << n) - 1) & ~(1 << start), 1 << start]
+    order: List[int] = []
+    while cells:
+        while cells and not cells[-1]:
+            cells.pop()
+        if not cells:
+            break
+        cell = cells[-1]
+        bit = cell & -cell
+        v = bit.bit_length() - 1
+        cells[-1] = cell ^ bit
+        order.append(v)
+        av = adj[v]
+        new_cells: List[int] = []
+        for c in cells:
+            if not c:
+                continue
+            inside = c & av
+            outside = c & ~av
+            if outside:
+                new_cells.append(outside)
+            if inside:
+                new_cells.append(inside)
+        cells = new_cells
+    return order
+
+
+def is_chordal_masks(adj: Sequence[int], n: int) -> bool:
+    """Chordality test on a bitmask adjacency.
+
+    Boolean-equivalent to ``is_chordal(graph)`` for the graph the masks
+    encode: chordality does not depend on which Lex-BFS ordering is found,
+    so the two implementations always agree (property-tested in
+    ``tests/test_leaf_masks.py``).
+    """
+    order = lex_bfs_masks(adj, n)
+    order.reverse()
+    pos = [0] * n
+    for i, v in enumerate(order):
+        pos[v] = i
+    remaining = (1 << n) - 1 if n else 0
+    for v in order:
+        remaining ^= 1 << v
+        later = adj[v] & remaining
+        if not later:
+            continue
+        parent = -1
+        best = n
+        m = later
+        while m:
+            bit = m & -m
+            u = bit.bit_length() - 1
+            if pos[u] < best:
+                best, parent = pos[u], u
+            m ^= bit
+        if (later ^ (1 << parent)) & ~adj[parent]:
+            return False
+    return True
+
+
 def perfect_elimination_order(graph: Graph) -> Optional[List[int]]:
     """Return a PEO if the graph is chordal, else ``None``."""
     order = lex_bfs(graph)

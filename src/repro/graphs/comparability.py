@@ -194,6 +194,159 @@ def _orient_remaining(orienter: _Orienter) -> bool:
     return False
 
 
+class _MaskOrienter:
+    """Bitmask counterpart of :class:`_Orienter`.
+
+    ``adj[v]`` has bit ``u`` set per neighbour; orientation state lives in
+    ``succ``/``pred`` masks instead of an edge dict.  Both engines close the
+    same Horn rules (D1/D2), and the closure of a Horn system is a unique
+    least fixpoint, so success sets and conflict outcomes are identical to
+    the set-based engine regardless of propagation order.
+    """
+
+    __slots__ = ("n", "adj", "succ", "pred")
+
+    def __init__(self, n: int, adj: List[int]):
+        self.n = n
+        self.adj = adj
+        self.succ = [0] * n
+        self.pred = [0] * n
+
+    def assign(self, a: int, b: int) -> List[Arc]:
+        assigned: List[Arc] = []
+        queue: List[Arc] = []
+        try:
+            self._set(a, b, assigned, queue)
+            while queue:
+                x, y = queue.pop()
+                self._propagate_from(x, y, assigned, queue)
+        except OrientationConflict:
+            self.undo(assigned)
+            raise
+        return assigned
+
+    def undo(self, assigned: Iterable[Arc]) -> None:
+        succ, pred = self.succ, self.pred
+        for a, b in assigned:
+            succ[a] &= ~(1 << b)
+            pred[b] &= ~(1 << a)
+
+    def arcs(self) -> List[Arc]:
+        out: List[Arc] = []
+        for a in range(self.n):
+            m = self.succ[a]
+            while m:
+                bit = m & -m
+                out.append((a, bit.bit_length() - 1))
+                m ^= bit
+        return out
+
+    def _set(self, a: int, b: int, assigned: List[Arc],
+             queue: List[Arc]) -> None:
+        bb = 1 << b
+        if not self.adj[a] & bb:
+            raise OrientationConflict(
+                f"transitivity conflict on non-edge ({a}, {b})"
+            )
+        if self.succ[a] & bb:
+            return
+        if self.pred[a] & bb:
+            raise OrientationConflict(f"path conflict on edge ({a}, {b})")
+        self.succ[a] |= bb
+        self.pred[b] |= 1 << a
+        assigned.append((a, b))
+        queue.append((a, b))
+
+    def _propagate_from(self, a: int, b: int, assigned: List[Arc],
+                        queue: List[Arc]) -> None:
+        adj = self.adj
+        # D1 / Γ-relation: a->b forces a->c for c ∈ N(a) \ N(b),
+        # and c->b for c ∈ N(b) \ N(a).
+        m = adj[a] & ~adj[b] & ~(1 << b)
+        while m:
+            bit = m & -m
+            self._set(a, bit.bit_length() - 1, assigned, queue)
+            m ^= bit
+        m = adj[b] & ~adj[a] & ~(1 << a)
+        while m:
+            bit = m & -m
+            self._set(bit.bit_length() - 1, b, assigned, queue)
+            m ^= bit
+        # D2 / transitivity: x->a->b forces x->b; a->b->y forces a->y.
+        m = self.pred[a] & ~(1 << b)
+        while m:
+            bit = m & -m
+            self._set(bit.bit_length() - 1, b, assigned, queue)
+            m ^= bit
+        m = self.succ[b] & ~(1 << a)
+        while m:
+            bit = m & -m
+            self._set(a, bit.bit_length() - 1, assigned, queue)
+            m ^= bit
+
+
+def _is_transitive_masks(n: int, succ: List[int]) -> bool:
+    for a in range(n):
+        m = succ[a]
+        while m:
+            bit = m & -m
+            b = bit.bit_length() - 1
+            if succ[b] & ~succ[a]:
+                return False
+            m ^= bit
+    return True
+
+
+def extend_orientation_masks(
+    n: int, adj_masks: List[int], forced_arcs: Iterable[Arc] = ()
+) -> Optional[List[Arc]]:
+    """Bitmask counterpart of :func:`extend_transitive_orientation`.
+
+    Whether an extension exists is a property of (graph, forced arcs), not
+    of the engine, so the ``None``/non-``None`` outcome always matches the
+    set-based function; the concrete orientation returned may differ (it is
+    deterministic: the DFS always branches on the lexicographically first
+    unoriented edge, forward direction first).
+    """
+    orienter = _MaskOrienter(n, adj_masks)
+    forced = list(forced_arcs)
+    for a, b in forced:
+        if not adj_masks[a] & (1 << b):
+            raise ValueError(f"forced arc ({a}, {b}) is not an edge")
+    try:
+        for a, b in forced:
+            orienter.assign(a, b)
+    except OrientationConflict:
+        return None
+    if _orient_remaining_masks(orienter):
+        assert _is_transitive_masks(n, orienter.succ), "orientation engine bug"
+        return orienter.arcs()
+    return None
+
+
+def _orient_remaining_masks(orienter: _MaskOrienter) -> bool:
+    """DFS over the still-unoriented edges with propagation."""
+    u = v = -1
+    for i in range(orienter.n):
+        m = (
+            orienter.adj[i] & ~(orienter.succ[i] | orienter.pred[i])
+        ) >> (i + 1)
+        if m:
+            u, v = i, i + 1 + (m & -m).bit_length() - 1
+            break
+    if u < 0:
+        return True
+    for a, b in ((u, v), (v, u)):
+        try:
+            assigned = orienter.assign(a, b)
+        except OrientationConflict:
+            continue
+        if _orient_remaining_masks(orienter):
+            return True
+        orienter.undo(assigned)
+    return False
+
+
 def transitive_orientation(graph: Graph) -> Optional[List[Arc]]:
     """Return some transitive orientation of the graph, or ``None``."""
     return extend_transitive_orientation(graph, ())

@@ -84,6 +84,7 @@ class InstanceOutcome:
     nodes: int = 0
     detail: str = ""
     resumed: bool = False
+    kernel: Optional[str] = None  # propagation engine that produced this
     replayed: bool = False  # reconstructed from the journal, not re-solved
 
     def identity(self) -> tuple:
@@ -101,6 +102,7 @@ class InstanceOutcome:
             "nodes": self.nodes,
             "detail": self.detail,
             "resumed": self.resumed,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -118,6 +120,7 @@ class InstanceOutcome:
             nodes=data.get("nodes", 0),
             detail=data.get("detail", ""),
             resumed=data.get("resumed", False),
+            kernel=data.get("kernel"),
             replayed=True,
         )
 
@@ -394,6 +397,7 @@ class BatchRunner:
                         nodes=nodes,
                         detail=watchdog.detail,
                         resumed=resumed,
+                        kernel=self._solve_kernel(),
                     )
                     writer.append(tripped, entry.instance_id, outcome.record_data())
                     self._count_outcome(tripped)
@@ -431,6 +435,7 @@ class BatchRunner:
                     nodes=nodes,
                     detail=detail,
                     resumed=resumed,
+                    kernel=self._solve_kernel(),
                 )
                 writer.append("failed", entry.instance_id, outcome.record_data())
                 self._count_outcome("failed")
@@ -463,6 +468,7 @@ class BatchRunner:
             elapsed=elapsed,
             nodes=nodes,
             resumed=resumed,
+            kernel=self._solve_kernel(),
         )
         if self.certify:
             verdict = certify_payload(
@@ -513,6 +519,14 @@ class BatchRunner:
         if remaining is None:
             return self.checkpoint_interval
         return min(self.checkpoint_interval, remaining)
+
+    def _solve_kernel(self) -> str:
+        """The propagation engine label journaled with every outcome: the
+        configured kernel name, or ``"portfolio"`` when racing entrants
+        that each carry their own options."""
+        if self.workers is not None and self.workers > 1:
+            return "portfolio"
+        return (self.options or SolverOptions()).kernel
 
     def _solve_once(
         self,

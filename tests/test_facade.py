@@ -214,6 +214,74 @@ class TestDeprecationShims:
                 minimize_base(boxes, dag, 2, time_bound=2)
 
 
+class TestKernelFacade:
+    """The ``kernel=`` / ``learning=`` shorthand on ``repro.solve``."""
+
+    def test_every_registered_kernel_solves_every_problem(self):
+        from repro.core import available_kernels
+
+        boxes, dag = two_squares()
+        instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+        for kernel in available_kernels():
+            assert repro.solve(instance, kernel=kernel).status == "sat"
+            assert repro.solve(
+                (boxes, dag), problem="bmp", time_bound=2, kernel=kernel
+            ).value == 2
+            assert repro.solve(
+                (boxes, dag), problem="spp", chip=(2, 2), kernel=kernel
+            ).value == 2
+            assert repro.solve(
+                (boxes, dag), problem="area", time_bound=2, kernel=kernel
+            ).value == 4
+            assert repro.solve(
+                (boxes, dag), problem="pareto", kernel=kernel
+            ).value == [(2, 2)]
+            assert repro.solve(
+                (boxes, dag), problem="fixed_feasible", starts=[0, 1],
+                chip=(2, 2), kernel=kernel,
+            ).status == "sat"
+            assert repro.solve(
+                (boxes, dag), problem="fixed_area", starts=[0, 1],
+                kernel=kernel,
+            ).value == 2
+
+    def test_kernel_kwarg_overrides_options(self):
+        boxes, dag = two_squares()
+        instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+        options = SolverOptions(kernel="bitmask")
+        result = repro.solve(
+            instance, options=options, kernel="reference", telemetry=True
+        )
+        assert result.status == "sat"
+        # The original options object is untouched (replace, not mutate).
+        assert options.kernel == "bitmask"
+
+    def test_unknown_kernel_rejected_before_solving(self):
+        from repro.core import UnknownKernelError
+
+        with pytest.raises(UnknownKernelError, match="expected one of"):
+            repro.solve(boxes_of([(1, 1, 1)]), problem="bmp",
+                        time_bound=1, kernel="warp")
+
+    def test_learning_kwarg_accepts_bool_and_options(self):
+        from repro.core import LearningOptions
+
+        boxes, dag = two_squares()
+        instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+        assert repro.solve(instance, learning=True).status == "sat"
+        assert repro.solve(
+            instance, learning=LearningOptions(enabled=True, restarts=False)
+        ).status == "sat"
+
+    def test_kernel_override_reaches_portfolio_entrants(self):
+        boxes, dag = two_squares()
+        instance = PackingInstance(boxes, Container((2, 2, 2)), dag)
+        result = repro.solve(
+            instance, workers=2, backend="thread", kernel="reference"
+        )
+        assert result.status == "sat"
+
+
 class TestPublicApiSnapshot:
     def test_all_snapshot(self):
         assert repro.__all__ == [
@@ -263,3 +331,50 @@ class TestPublicApiSnapshot:
             "fixed_feasible",
             "fixed_area",
         )
+
+    def test_solve_signature_snapshot(self):
+        import inspect
+
+        params = inspect.signature(repro.solve).parameters
+        assert list(params) == [
+            "instance",
+            "problem",
+            "time_bound",
+            "chip",
+            "starts",
+            "max_time",
+            "max_side",
+            "with_dependencies",
+            "options",
+            "kernel",
+            "learning",
+            "workers",
+            "backend",
+            "cache",
+            "time_limit",
+            "deadline_budget",
+            "telemetry",
+        ]
+        # Everything past ``problem`` is keyword-only.
+        for name, param in params.items():
+            if name in ("instance", "problem"):
+                continue
+            assert param.kind is inspect.Parameter.KEYWORD_ONLY, name
+
+    def test_core_kernel_surface_snapshot(self):
+        from repro.core import kernels
+
+        assert kernels.__all__ == [
+            "EngineProtocol",
+            "KernelFactory",
+            "UnknownKernelError",
+            "available",
+            "available_kernels",
+            "get",
+            "get_kernel",
+            "make_model",
+            "register",
+            "register_kernel",
+        ]
+        for name in kernels.__all__:
+            assert hasattr(kernels, name), name

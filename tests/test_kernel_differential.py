@@ -1,11 +1,14 @@
-"""Differential equivalence suite: bitmask kernel vs the reference oracle.
+"""Differential equivalence suite: every registered kernel vs the oracle.
 
-The bitmask kernel (``repro.core.bitmask``) is a word-parallel rewrite of
-the reference edge-state engine and is required to be *semantically
-identical* to it: same SAT/UNSAT answers, same optima, and — because the
-propagation rules reach the same fixpoints and the branch heuristics read
-the same state — the same search tree node for node.  This suite hammers
-that claim with several hundred seeded random instances:
+The ``bitmask`` kernel (``repro.core.bitmask``) and the ``vector`` kernel
+(``repro.core.vector``) are rewrites of the reference edge-state engine
+and are required to be *semantically identical* to it: same SAT/UNSAT
+answers, same optima, and — because the propagation rules reach the same
+fixpoints and the branch heuristics read the same state — the same search
+tree node for node.  The kernel pool is taken live from the registry
+(:func:`repro.core.available_kernels`), so a newly registered engine is
+automatically held to the same bar.  This suite hammers that claim with
+several hundred seeded random instances:
 
 * mixed instances with and without precedence constraints,
 * rotation-aware solves (``solve_opp_with_rotation``),
@@ -33,6 +36,7 @@ from repro.core import (
     LearningOptions,
     PropagationOptions,
     SolverOptions,
+    available_kernels,
     solve_opp,
 )
 from repro.core.bmp import minimize_base
@@ -60,14 +64,19 @@ def _signature(result):
 
 
 def _assert_same_solve(instance, **overrides):
-    fast = solve_opp(instance, options=_options("bitmask", **overrides))
-    slow = solve_opp(instance, options=_options("reference", **overrides))
-    assert _signature(fast) == _signature(slow), (
-        f"kernel divergence on {instance.boxes} in "
-        f"{instance.container.sizes}: bitmask={_signature(fast)} "
-        f"reference={_signature(slow)}"
-    )
-    return fast, slow
+    """Every registered kernel must produce the reference signature."""
+    results = {
+        kernel: solve_opp(instance, options=_options(kernel, **overrides))
+        for kernel in available_kernels()
+    }
+    slow = results["reference"]
+    for kernel, result in results.items():
+        assert _signature(result) == _signature(slow), (
+            f"kernel divergence on {instance.boxes} in "
+            f"{instance.container.sizes}: {kernel}={_signature(result)} "
+            f"reference={_signature(slow)}"
+        )
+    return results["bitmask"], slow
 
 
 class TestOPPDifferential:
@@ -132,14 +141,16 @@ class TestOPPDifferential:
                 rng, container=(4, 4, 4), num_boxes=6, max_width=3,
                 precedence_density=0.2,
             )
-            fast = solve_opp(
-                inst, options=SolverOptions(kernel="bitmask", node_limit=3000)
-            )
-            slow = solve_opp(
-                inst, options=SolverOptions(kernel="reference", node_limit=3000)
-            )
-            assert _signature(fast) == _signature(slow)
-            assert fast.stage == slow.stage
+            results = {
+                kernel: solve_opp(
+                    inst, options=SolverOptions(kernel=kernel, node_limit=3000)
+                )
+                for kernel in available_kernels()
+            }
+            slow = results["reference"]
+            for result in results.values():
+                assert _signature(result) == _signature(slow)
+                assert result.stage == slow.stage
 
 
 class TestNodeCountEquality:
@@ -199,7 +210,7 @@ class TestNodeCountEquality:
                 rng, container=(4, 4, 5), num_boxes=6, max_width=3,
                 precedence_density=0.3,
             )
-            for kernel in ("bitmask", "reference"):
+            for kernel in available_kernels():
                 solver = BranchAndBound(inst, node_limit=3000, kernel=kernel)
                 solver.solve()
                 assert solver.model.stats.nodes_entered == solver.stats.nodes
@@ -216,7 +227,7 @@ class TestOptimizationDifferential:
                 precedence_density=0.3,
             )
             results = {}
-            for kernel in ("bitmask", "reference"):
+            for kernel in available_kernels():
                 results[kernel] = minimize_base(
                     inst.boxes,
                     inst.precedence,
@@ -224,9 +235,10 @@ class TestOptimizationDifferential:
                     options=SolverOptions(kernel=kernel, node_limit=20000),
                     max_side=8,
                 )
-            fast, slow = results["bitmask"], results["reference"]
-            assert fast.status == slow.status
-            assert fast.optimum == slow.optimum
+            slow = results["reference"]
+            for fast in results.values():
+                assert fast.status == slow.status
+                assert fast.optimum == slow.optimum
 
     def test_spp_optima_agree(self):
         rng = random.Random(2025)
@@ -236,16 +248,17 @@ class TestOptimizationDifferential:
                 precedence_density=0.4,
             )
             results = {}
-            for kernel in ("bitmask", "reference"):
+            for kernel in available_kernels():
                 results[kernel] = minimize_makespan(
                     inst.boxes,
                     inst.precedence,
                     chip=(inst.container.sizes[0], inst.container.sizes[1]),
                     options=SolverOptions(kernel=kernel, node_limit=20000),
                 )
-            fast, slow = results["bitmask"], results["reference"]
-            assert fast.status == slow.status
-            assert fast.optimum == slow.optimum
+            slow = results["reference"]
+            for fast in results.values():
+                assert fast.status == slow.status
+                assert fast.optimum == slow.optimum
 
     def test_rotation_solves_agree(self):
         rng = random.Random(808)
@@ -255,15 +268,16 @@ class TestOptimizationDifferential:
                 precedence_density=0.2,
             )
             results = {}
-            for kernel in ("bitmask", "reference"):
+            for kernel in available_kernels():
                 results[kernel] = solve_opp_with_rotation(
                     inst, options=SolverOptions(kernel=kernel, node_limit=3000)
                 )
-            fast, slow = results["bitmask"], results["reference"]
-            assert fast.status == slow.status
-            assert fast.assignments_tried == slow.assignments_tried
-            if fast.placement is not None:
-                assert slow.placement is not None
+            slow = results["reference"]
+            for fast in results.values():
+                assert fast.status == slow.status
+                assert fast.assignments_tried == slow.assignments_tried
+                if slow.placement is not None:
+                    assert fast.placement is not None
 
 
 class TestChaosDifferential:
@@ -286,9 +300,8 @@ class TestChaosDifferential:
     def test_injected_raise_hits_same_node(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULT_PLAN", json.dumps({"raise_at_node": 10}))
         inst = self._chaos_instance()
-        fast = solve_opp(inst, options=_options("bitmask"))
-        slow = solve_opp(inst, options=_options("reference"))
-        for result in (fast, slow):
+        for kernel in available_kernels():
+            result = solve_opp(inst, options=_options(kernel))
             assert result.status == "unknown"
             assert result.stats.limit == "fault:propagation_raise"
             assert result.stats.nodes == 10
@@ -304,10 +317,11 @@ class TestChaosDifferential:
             monkeypatch.setenv(
                 "REPRO_FAULT_PLAN", json.dumps({"raise_at_node": at_node})
             )
-            fast = solve_opp(inst, options=_options("bitmask"))
             slow = solve_opp(inst, options=_options("reference"))
-            assert _signature(fast) == _signature(slow)
-            assert fast.stats.limit == slow.stats.limit
+            for kernel in available_kernels():
+                fast = solve_opp(inst, options=_options(kernel))
+                assert _signature(fast) == _signature(slow)
+                assert fast.stats.limit == slow.stats.limit
 
     def test_explicit_fault_plan_via_options(self):
         # The same plan shipped through SolverOptions.fault_plan instead
@@ -316,10 +330,12 @@ class TestChaosDifferential:
 
         inst = self._chaos_instance()
         plan = FaultPlan(raise_at_node=5)
-        fast = solve_opp(inst, options=_options("bitmask", fault_plan=plan))
         slow = solve_opp(inst, options=_options("reference", fault_plan=plan))
-        assert _signature(fast) == _signature(slow)
-        assert fast.stats.limit == "fault:propagation_raise"
+        assert slow.stats.limit == "fault:propagation_raise"
+        for kernel in available_kernels():
+            fast = solve_opp(inst, options=_options(kernel, fault_plan=plan))
+            assert _signature(fast) == _signature(slow)
+            assert fast.stats.limit == "fault:propagation_raise"
 
 
 class TestLearningDifferential:
@@ -362,33 +378,32 @@ class TestLearningDifferential:
                     "reference", propagation=propagation, node_limit=20000
                 ),
             )
-            learned_fast = solve_opp(
-                inst,
-                options=_options(
-                    "bitmask", propagation=propagation, node_limit=20000,
-                    learning=learning,
-                ),
-            )
-            learned_slow = solve_opp(
-                inst,
-                options=_options(
-                    "reference", propagation=propagation, node_limit=20000,
-                    learning=learning,
-                ),
-            )
-            assert oracle.status in ("sat", "unsat")
-            assert learned_fast.status == oracle.status
-            # Deterministic learner: the two kernels learn identical
-            # clauses and explore the identical learned tree.
-            assert _signature(learned_fast) == _signature(learned_slow)
-            assert (
-                learned_fast.stats.nogoods_learned
-                == learned_slow.stats.nogoods_learned
-            )
-            if restarts:
-                assert (
-                    learned_fast.stats.restarts == learned_slow.stats.restarts
+            learned = {
+                kernel: solve_opp(
+                    inst,
+                    options=_options(
+                        kernel, propagation=propagation, node_limit=20000,
+                        learning=learning,
+                    ),
                 )
+                for kernel in available_kernels()
+            }
+            learned_slow = learned["reference"]
+            assert oracle.status in ("sat", "unsat")
+            # Deterministic learner: every kernel learns identical
+            # clauses and explores the identical learned tree.
+            for learned_fast in learned.values():
+                assert learned_fast.status == oracle.status
+                assert _signature(learned_fast) == _signature(learned_slow)
+                assert (
+                    learned_fast.stats.nogoods_learned
+                    == learned_slow.stats.nogoods_learned
+                )
+                if restarts:
+                    assert (
+                        learned_fast.stats.restarts
+                        == learned_slow.stats.restarts
+                    )
 
     @pytest.mark.parametrize("sym", [False, True], ids=["no_sym", "sym"])
     def test_disabled_learning_is_node_identical_to_default(self, sym):
@@ -569,6 +584,86 @@ class TestLearningDifferential:
         )
         clean = solve_opp(inst, options=_options("bitmask"))
         assert resumed.status == clean.status
+
+
+class TestCrossKernelCheckpoints:
+    """Checkpoints are kernel-portable.
+
+    The checkpoint fingerprint deliberately excludes the kernel name:
+    because every kernel explores the identical tree, a search interrupted
+    on one engine resumes on *any* other.  For each origin kernel this
+    takes a mid-search checkpoint (fault-injected at node 25), round-trips
+    it through the JSON wire format, resumes it on every registered kernel,
+    and requires all continuations to be signature-identical and to land on
+    the clean answer — covering every ordered kernel pair."""
+
+    def _instance(self):
+        rng = random.Random(42)
+        insts = [
+            random_instance(
+                rng, container=(5, 5, 5), num_boxes=7, max_width=4,
+                precedence_density=0.3,
+            )
+            for _ in range(7)
+        ]
+        return insts[-1]
+
+    def _interrupted_wire(self, inst, origin, **overrides):
+        from repro.parallel.faults import FaultPlan
+
+        interrupted = solve_opp(
+            inst,
+            options=_options(
+                origin, fault_plan=FaultPlan(raise_at_node=25), **overrides
+            ),
+        )
+        assert interrupted.status == "unknown"
+        assert interrupted.checkpoint is not None
+        return json.dumps(interrupted.checkpoint.to_dict(), sort_keys=True)
+
+    @pytest.mark.parametrize("origin", available_kernels())
+    def test_checkpoint_resumes_identically_on_every_kernel(self, origin):
+        inst = self._instance()
+        wire = self._interrupted_wire(inst, origin)
+        clean = solve_opp(inst, options=_options("reference"))
+        signatures = set()
+        for target in available_kernels():
+            revived = SearchCheckpoint.from_dict(json.loads(wire))
+            resumed = solve_opp(
+                inst, options=_options(target), resume_from=revived
+            )
+            assert resumed.status == clean.status, (
+                f"checkpoint from {origin} resumed on {target} diverged"
+            )
+            signatures.add(_signature(resumed))
+        assert len(signatures) == 1, (
+            f"resume of a {origin} checkpoint is target-dependent: "
+            f"{signatures}"
+        )
+
+    @pytest.mark.parametrize("origin", available_kernels())
+    def test_learned_checkpoint_portable_across_kernels(self, origin):
+        # Same portability with the nogood store riding in the checkpoint:
+        # the deterministic learner makes the continuation identical on
+        # every kernel, packed matcher and scalar matcher alike.
+        inst = self._instance()
+        learning = LearningOptions(
+            enabled=True, restart_base=2, max_restarts=6
+        )
+        wire = self._interrupted_wire(inst, origin, learning=learning)
+        checkpoint = json.loads(wire)
+        assert checkpoint["nogoods"] and checkpoint["nogoods"]["nogoods"]
+        clean = solve_opp(inst, options=_options("reference"))
+        signatures = set()
+        for target in available_kernels():
+            revived = SearchCheckpoint.from_dict(json.loads(wire))
+            resumed = solve_opp(
+                inst, options=_options(target, learning=learning),
+                resume_from=revived,
+            )
+            assert resumed.status == clean.status
+            signatures.add(_signature(resumed))
+        assert len(signatures) == 1
 
 
 class TestPrecedenceWitnesses:

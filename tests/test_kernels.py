@@ -1,0 +1,251 @@
+"""Kernel registry and engine-protocol contract tests.
+
+The registry (:mod:`repro.core.kernels`) is the single surface every
+kernel consumer goes through — ``SolverOptions`` validation, the CLI's
+``--kernel`` choices, ``repro.solve(kernel=...)``, and the search itself
+all resolve names here.  These tests pin the registry semantics
+(ordering, probes, replacement, the auto-listing error), the
+:class:`~repro.core.kernels.EngineProtocol` contract every built-in
+satisfies, and the byte-stability of the vector kernel's packed pair
+state (a hypothesis property test, since the packed form rides in
+word-parallel nogood matching where a single flipped bit silently
+corrupts pruning).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BitmaskEdgeStateModel,
+    Conflict,
+    EdgeStateModel,
+    EngineProtocol,
+    SolverOptions,
+    UnknownKernelError,
+    available_kernels,
+    get_kernel,
+    make_model,
+    register_kernel,
+    solve_opp,
+)
+from repro.core import kernels as kernels_mod
+from repro.core.boxes import make_instance
+
+
+def _tiny_instance():
+    return make_instance(
+        [(2, 2, 2), (2, 2, 2), (2, 2, 2)], (4, 4, 4),
+        precedence_arcs=[(0, 1)],
+    )
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register throwaway kernels without leaking them."""
+    before = set(kernels_mod._registry)
+    yield
+    for name in set(kernels_mod._registry) - before:
+        del kernels_mod._registry[name]
+
+
+class TestRegistry:
+    def test_builtins_registered_in_presentation_order(self):
+        names = available_kernels()
+        # numpy is a hard dependency of the package, so all three
+        # built-ins are always usable, in registration order.
+        assert names[:3] == ("bitmask", "vector", "reference")
+
+    def test_unknown_kernel_error_lists_alternatives(self):
+        with pytest.raises(UnknownKernelError) as excinfo:
+            get_kernel("warp")
+        assert excinfo.value.kernel == "warp"
+        for name in available_kernels():
+            assert name in str(excinfo.value)
+        # It is a ValueError, so pre-registry callers that caught
+        # ValueError keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_solver_options_validates_through_registry(self):
+        with pytest.raises(UnknownKernelError):
+            SolverOptions(kernel="warp")
+
+    def test_duplicate_registration_refused_unless_replace(
+        self, scratch_registry
+    ):
+        def factory(instance, options=None):
+            return BitmaskEdgeStateModel(instance, options)
+
+        def factory2(instance, options=None):
+            return BitmaskEdgeStateModel(instance, options)
+
+        register_kernel("scratch", factory)
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("scratch", factory)
+        register_kernel("scratch", factory2, replace=True)
+        assert get_kernel("scratch") is factory2
+
+    def test_probe_gates_availability(self, scratch_registry):
+        register_kernel(
+            "needs-magic",
+            lambda instance, options=None: BitmaskEdgeStateModel(
+                instance, options
+            ),
+            probe=lambda: False,
+        )
+        assert "needs-magic" not in available_kernels()
+        with pytest.raises(UnknownKernelError):
+            get_kernel("needs-magic")
+
+    def test_probe_is_cached(self, scratch_registry):
+        calls = []
+
+        def probe():
+            calls.append(1)
+            return True
+
+        register_kernel(
+            "probed",
+            lambda instance, options=None: BitmaskEdgeStateModel(
+                instance, options
+            ),
+            probe=probe,
+        )
+        available_kernels()
+        available_kernels()
+        get_kernel("probed")
+        assert len(calls) == 1
+
+    def test_third_party_kernel_flows_end_to_end(self, scratch_registry):
+        """A registered kernel passes options validation and solves."""
+
+        class ThirdPartyModel(BitmaskEdgeStateModel):
+            kernel_name = "third-party"
+
+        register_kernel(
+            "third-party",
+            lambda instance, options=None: ThirdPartyModel(instance, options),
+        )
+        options = SolverOptions(
+            kernel="third-party", use_bounds=False, use_heuristics=False
+        )
+        result = solve_opp(_tiny_instance(), options=options)
+        baseline = solve_opp(
+            _tiny_instance(),
+            options=SolverOptions(use_bounds=False, use_heuristics=False),
+        )
+        assert result.status == baseline.status
+        assert result.stats.nodes == baseline.stats.nodes
+
+    def test_legacy_kernels_tuple_reflects_registry(self):
+        import repro.core
+        from repro.core.bitmask import KERNELS as bitmask_kernels
+
+        assert repro.core.KERNELS == available_kernels()
+        assert bitmask_kernels == available_kernels()
+
+
+class TestEngineProtocol:
+    @pytest.mark.parametrize("name", ["bitmask", "vector", "reference"])
+    def test_builtin_engines_satisfy_protocol(self, name):
+        model = make_model(_tiny_instance(), kernel=name)
+        assert isinstance(model, EngineProtocol)
+        assert model.kernel_name == name
+        for attr in ("state", "orient", "stats", "options"):
+            assert hasattr(model, attr)
+        for method in (
+            "seed", "mark", "rollback", "assign_state", "assign_arc",
+            "propagate", "component_graph", "comparability_graph",
+            "oriented_arcs", "undecided", "is_complete",
+        ):
+            assert callable(getattr(model, method))
+
+    def test_reference_is_virtual_subclass(self):
+        assert isinstance(
+            EdgeStateModel(_tiny_instance()), EngineProtocol
+        )
+
+    def test_engines_agree_after_seed(self):
+        models = {
+            name: make_model(_tiny_instance(), kernel=name)
+            for name in available_kernels()
+        }
+        for model in models.values():
+            model.seed()
+        reference = models["reference"]
+        for name, model in models.items():
+            assert model.is_complete() == reference.is_complete()
+            assert sorted(model.undecided()) == sorted(
+                reference.undecided()
+            ), f"{name} seeds a different frontier"
+
+
+class TestPackedStateStability:
+    """The packed pair-state codec must be byte-stable: encoding the same
+    masks always yields the same bytes, and decode(encode(x)) == x for
+    every width — including bit patterns that straddle word boundaries."""
+
+    @given(
+        data=st.data(),
+        nbits=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pack_unpack_roundtrip(self, data, nbits):
+        from repro.core.vector import pack_pair_state, unpack_pair_state
+
+        comp = data.draw(
+            st.integers(min_value=0, max_value=(1 << nbits) - 1)
+        )
+        cmpb = data.draw(
+            st.integers(min_value=0, max_value=(1 << nbits) - 1)
+        )
+        packed = pack_pair_state(comp, cmpb, nbits)
+        assert unpack_pair_state(packed) == (comp, cmpb)
+        again = pack_pair_state(comp, cmpb, nbits)
+        assert packed.tobytes() == again.tobytes()
+        assert packed.dtype == again.dtype
+        assert packed.shape == again.shape
+
+    @given(nbits=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_all_ones_and_empty_are_exact(self, nbits):
+        from repro.core.vector import pack_pair_state, unpack_pair_state
+
+        full = (1 << nbits) - 1
+        assert unpack_pair_state(pack_pair_state(full, 0, nbits)) == (full, 0)
+        assert unpack_pair_state(pack_pair_state(0, full, nbits)) == (0, full)
+        assert unpack_pair_state(pack_pair_state(0, 0, nbits)) == (0, 0)
+
+    def test_live_engine_state_matches_codec(self):
+        """packed_state() of a solving engine equals packing its live
+        flat masks — the codec and the incremental tracking agree."""
+        from repro.core.vector import (
+            VectorEdgeStateModel,
+            pack_pair_state,
+            unpack_pair_state,
+        )
+
+        rng = random.Random(31)
+        from repro.instances.random_instances import random_instance
+
+        for _ in range(5):
+            inst = random_instance(
+                rng, container=(4, 4, 5), num_boxes=6, max_width=3,
+                precedence_density=0.3,
+            )
+            model = VectorEdgeStateModel(inst)
+            try:
+                model.seed()
+            except Conflict:
+                pass  # root-infeasible: the partial state still packs
+            comp, cmpb = model.packed_pair_state()
+            n = len(inst.boxes)
+            nbits = model.d * (n * (n - 1) // 2)
+            packed = model.packed_state()
+            assert unpack_pair_state(packed) == (comp, cmpb)
+            assert (
+                packed.tobytes()
+                == pack_pair_state(comp, cmpb, nbits).tobytes()
+            )
