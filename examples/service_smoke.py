@@ -1,0 +1,197 @@
+"""Smoke-test the solver service end to end against a live daemon.
+
+Boots a real ``python -m repro serve`` subprocess on an OS-assigned port,
+then runs one of everything the service offers:
+
+1. a blocking ``/v1/solve`` — checked byte-for-byte against a direct
+   in-process solve on the canonical answer projection;
+2. the *same instance, relabeled, from a different tenant* — must be
+   served from the shared cross-tenant memo (``cache_hit: true``);
+3. an async ``/v1/batch`` with its ``/v1/stream`` SSE progress feed;
+4. a ``/v1/certify`` re-audit of the solve's certificate;
+5. a graceful ``/v1/shutdown`` — the daemon must exit 0.
+
+The final ``/v1/status`` snapshot (budgets, cache counters, metrics) is
+written as a JSON telemetry artifact — CI uploads it when the smoke run
+fails.  Usage::
+
+    python examples/service_smoke.py [artifact.json]
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if os.path.isdir(REPO_SRC) and REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+from repro.core.boxes import Box, Container, PackingInstance, make_instance  # noqa: E402
+from repro.core.opp import solve_opp  # noqa: E402
+from repro.io.serialize import instance_to_dict  # noqa: E402
+from repro.service.protocol import dumps_canonical, solve_answer  # noqa: E402
+
+
+def request(port, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def stream_events(port, job):
+    """Consume the job's SSE feed to its end marker."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request("GET", f"/v1/stream/{job}")
+        response = conn.getresponse()
+        assert response.status == 200
+        events = []
+        while True:
+            line = response.readline()
+            if not line or line.strip() == b"event: end":
+                return events
+            if line.startswith(b"data: "):
+                events.append(json.loads(line[len(b"data: "):]))
+    finally:
+        conn.close()
+
+
+def relabeled(instance):
+    """An isomorphism-equivalent copy: boxes reversed and renamed."""
+    boxes = [
+        Box(box.widths, name=f"alias-{i}")
+        for i, box in enumerate(reversed(instance.boxes))
+    ]
+    return PackingInstance(
+        boxes, Container(tuple(instance.container.sizes)), None,
+        instance.time_axis,
+    )
+
+
+def main():
+    artifact = (
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(tempfile.mkdtemp(prefix="service-smoke-"),
+                          "status.json")
+    )
+    state_dir = tempfile.mkdtemp(prefix="service-smoke-state-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--dir", state_dir, "--port", "0", "--no-fsync"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    status_snapshot = {}
+    try:
+        line = daemon.stdout.readline()
+        match = re.search(rb"serving on http://[^:]+:(\d+)", line)
+        assert match, f"daemon never announced a port: {line!r}"
+        port = int(match.group(1))
+        print(f"daemon up on port {port}")
+
+        instance = make_instance(
+            [(2, 2, 1), (1, 1, 2), (2, 1, 1)], (3, 3, 3)
+        )
+
+        # 1. Blocking solve: byte-identical to the direct answer.
+        status, body = request(
+            port, "POST", "/v1/solve",
+            {"instance": instance_to_dict(instance), "tenant": "alice"},
+        )
+        assert status == 200, body
+        direct = dumps_canonical(solve_answer(solve_opp(instance)))
+        served = dumps_canonical(body["response"]["answer"])
+        assert served == direct, f"answer diverged:\n{served}\n{direct}"
+        assert body["response"]["cache_hit"] is False
+        print(f"solve: {body['response']['answer']['status']} "
+              "(byte-identical to direct solve)")
+
+        # 2. Cross-tenant memo: the relabeled twin costs no solve.
+        status, body = request(
+            port, "POST", "/v1/solve",
+            {"instance": instance_to_dict(relabeled(instance)),
+             "tenant": "bob"},
+        )
+        assert status == 200, body
+        assert body["response"]["cache_hit"] is True, (
+            "isomorphic instance from another tenant missed the memo"
+        )
+        print("memo: tenant bob's relabeled twin was a cache hit")
+
+        # 3. Async batch + SSE stream.
+        entries = [
+            {"id": f"i{k}", "instance": instance_to_dict(
+                make_instance([(1, 1, k + 1), (2, 2, 1)], (2, 2, k + 2))
+            )}
+            for k in range(3)
+        ]
+        status, body = request(
+            port, "POST", "/v1/batch", {"entries": entries}
+        )
+        assert status == 202, body
+        job = body["job"]
+        events = stream_events(port, job)
+        kinds = [e.get("event") for e in events]
+        assert kinds[-1] == "done", kinds
+        assert any(k == "instance" for k in kinds), kinds
+        status, body = request(port, "GET", f"/v1/status/{job}")
+        assert body["state"] == "done"
+        assert body["response"]["counts"]["done"] == 3
+        print(f"batch: {job} done, {len(events)} progress events streamed")
+
+        # 4. Certify the solve's certificate through the service.
+        result = solve_opp(instance)
+        status, body = request(
+            port, "POST", "/v1/certify",
+            {"certificate": result.certificate_payload(instance)},
+        )
+        assert status == 200, body
+        verdict = body["response"]["certification"]["verdict"]
+        assert verdict == "certified", body
+        print(f"certify: {verdict}")
+
+        # 5. Status snapshot: the memo metrics must show the shared hit.
+        status, status_snapshot = request(port, "GET", "/v1/status")
+        assert status == 200
+        counters = status_snapshot["metrics"]["counters"]
+        assert counters.get("service.cache_hits", 0) >= 1, counters
+        assert status_snapshot["cache"]["hits"] >= 1
+        assert status_snapshot["jobs"]["failed"] == 0
+        tenants = status_snapshot["admission"]["tenants"]
+        assert {"alice", "bob", "public"} <= set(tenants)
+        print(f"status: {status_snapshot['jobs']['done']} jobs done, "
+              f"cache hits {status_snapshot['cache']['hits']}, "
+              f"solves {counters.get('service.solves', 0)}")
+
+        # 6. Graceful shutdown: everything finished, so exit code 0.
+        status, body = request(port, "POST", "/v1/shutdown")
+        assert status == 202, body
+        daemon.wait(timeout=60)
+        assert daemon.returncode == 0, daemon.stderr.read().decode()
+        print("shutdown: clean exit 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(status_snapshot, handle, indent=2, sort_keys=True)
+        print(f"telemetry artifact: {artifact}")
+
+    print("service smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

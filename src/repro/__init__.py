@@ -39,6 +39,9 @@ Main modules:
   per-instance watchdogs, kill-anywhere resume);
 * :mod:`repro.distributed` — fault-tolerant distributed tree search
   (leased subtree queue, crash recovery, certified deterministic merge);
+* :mod:`repro.service` — the async multi-tenant solver daemon
+  (``repro-fpga serve``: HTTP+JSON API, admission control, tenant
+  budgets, cross-tenant memoization, kill-anywhere resume);
 * :mod:`repro.certify` — independent certification of solver results;
 * :mod:`repro.telemetry` — tracing and metrics;
 * :mod:`repro.instances` — the paper's DE and video-codec benchmarks;
@@ -59,6 +62,7 @@ from . import (
     io,
     parallel,
     runtime,
+    service,
     telemetry,
 )
 from .api import PROBLEMS, solve
@@ -110,6 +114,7 @@ __all__ = [
     "io",
     "parallel",
     "runtime",
+    "service",
     "telemetry",
     "__version__",
 ]

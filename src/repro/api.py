@@ -38,6 +38,10 @@ The ``instance`` argument is polymorphic: a
 a plain list of :class:`~repro.core.boxes.Box`.  ``workers > 1`` races a
 :class:`~repro.parallel.portfolio.PortfolioSolver` per OPP decision instead
 of the sequential solver.
+
+The same facade is reachable over HTTP: :mod:`repro.service` wraps it in
+an async multi-tenant daemon (``repro-fpga serve``) whose ``/v1/solve``
+answers are byte-identical to calling :func:`repro.solve` directly.
 """
 
 from __future__ import annotations

@@ -661,6 +661,38 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return EXIT_ERROR if audit.refuted else EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the solver-as-a-service daemon (see :mod:`repro.service`).
+
+    SIGINT/SIGTERM shut the daemon down gracefully: in-flight jobs are
+    journaled as interrupted and ``--resume`` later re-runs them; exits
+    :data:`EXIT_OK` when every accepted job reached a terminal state,
+    :data:`EXIT_INTERRUPTED` otherwise.
+    """
+    from .service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        state_dir=args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        concurrency=args.max_concurrency,
+        tenant_seconds=args.tenant_seconds,
+        tenant_nodes=args.tenant_nodes,
+        cache_dir=args.cache,
+        time_limit=args.time_limit,
+        checkpoint_interval=args.checkpoint_interval,
+        fsync=args.fsync,
+        resume=args.resume,
+    )
+    try:
+        return run_service(config)
+    except ValueError as exc:
+        # e.g. a state dir whose journal already holds jobs without --resume
+        raise _InputError(str(exc)) from exc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fpga",
@@ -925,6 +957,72 @@ def build_parser() -> argparse.ArgumentParser:
         "identical-stats guarantee for cross-subtree pruning)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async multi-tenant solver service daemon "
+        "(docs/service.md)",
+        parents=[observe],
+    )
+    serve.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="service state directory (service.jsonl journal, per-job "
+        "batch directories); pass the same DIR with --resume after a "
+        "crash to replay finished jobs and re-run in-flight ones",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 asks the OS for a free one (printed on stdout)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="continue from DIR's journal: terminal jobs re-report their "
+        "recorded responses verbatim, interrupted jobs run again",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="solver threads executing admitted jobs (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="admitted-but-unfinished jobs allowed before new submissions "
+        "get 429 queue-full (default: 64)",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=None, metavar="N",
+        help="jobs solving at once (default: --workers)",
+    )
+    serve.add_argument(
+        "--tenant-seconds", type=float, default=None, metavar="SEC",
+        help="per-tenant wall-clock budget; exhausted tenants get 429 "
+        "budget-exhausted (default: unlimited)",
+    )
+    serve.add_argument(
+        "--tenant-nodes", type=int, default=None, metavar="N",
+        help="per-tenant search-node budget (default: unlimited)",
+    )
+    serve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="directory for the shared on-disk verdict cache (isomorphic "
+        "instances across tenants cost one solve)",
+    )
+    serve.add_argument(
+        "--time-limit", type=float, default=None, metavar="SEC",
+        help="server-side cap on any request's per-solve time limit",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=1.0, metavar="SEC",
+        help="batch jobs checkpoint at this cadence (default: 1s)",
+    )
+    serve.add_argument(
+        "--fsync", action=argparse.BooleanOptionalAction, default=True,
+        help="fsync the service journal on every record (default on; "
+        "--no-fsync trades durability for test speed)",
+    )
+
     certify = sub.add_parser(
         "certify",
         help="independently re-audit a batch directory's results",
@@ -989,6 +1087,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": _cmd_batch,
         "dsolve": _cmd_dsolve,
         "certify": _cmd_certify,
+        "serve": _cmd_serve,
     }
     _install_sigterm_as_interrupt()
     try:

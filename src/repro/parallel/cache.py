@@ -30,6 +30,7 @@ import hashlib
 import json
 import logging
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -217,6 +218,12 @@ class ResultCache:
     ``quarantine_capacity`` files, evicting the oldest (by modification
     time) beyond the cap, so sustained corruption — a failing disk, a
     repeatedly-poisoned shared cache — cannot grow it without limit.
+
+    The cache is **thread-safe**: lookups, stores, and the LRU bookkeeping
+    run under one reentrant lock, so a single instance can serve as the
+    service daemon's shared cross-request (and cross-tenant) memo with
+    solves executing on a thread pool.  Canonicalization — the expensive
+    part of a key — happens outside the lock.
     """
 
     def __init__(
@@ -235,11 +242,13 @@ class ResultCache:
         self.stats = CacheStats()
         self._telemetry: Optional[Any] = None
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
         if disk_path is not None:
             os.makedirs(disk_path, exist_ok=True)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def instrument(self, telemetry: Any) -> "ResultCache":
         """Mirror this cache's lifecycle counters (stores, evictions,
@@ -261,23 +270,31 @@ class ResultCache:
 
     # -- lookup ------------------------------------------------------------
 
+    def key(self, instance: PackingInstance) -> str:
+        """The canonical cache key of an instance — identical for any two
+        isomorphism-equivalent instances.  Exposed so callers (the service's
+        single-flight dedup) can coordinate on canonical identity without
+        touching cache internals."""
+        return self._key_for_order(instance, _canonical_order(instance))
+
     def get(self, instance: PackingInstance) -> Optional[OPPResult]:
         order = _canonical_order(instance)
         key = self._key_for_order(instance, order)
-        entry = self._load(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        result = self._decode(instance, order, entry)
-        if result is None:
-            # A mapped-back witness that fails validation means the store is
-            # corrupt (or the canonical form logic regressed); drop the entry
-            # rather than serve it.
-            self._drop(key)
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result
+        with self._lock:
+            entry = self._load(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            result = self._decode(instance, order, entry)
+            if result is None:
+                # A mapped-back witness that fails validation means the store
+                # is corrupt (or the canonical form logic regressed); drop the
+                # entry rather than serve it.
+                self._drop(key)
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return result
 
     def put(self, instance: PackingInstance, result: OPPResult) -> None:
         if result.status not in (SAT, UNSAT):
@@ -295,8 +312,9 @@ class ResultCache:
             entry["positions"] = [
                 list(result.placement.positions[v]) for v in order
             ]
-        self._store(key, entry)
-        self.stats.stores += 1
+        with self._lock:
+            self._store(key, entry)
+            self.stats.stores += 1
         self._count("cache.stores")
 
     # -- internals ---------------------------------------------------------

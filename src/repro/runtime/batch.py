@@ -170,6 +170,7 @@ class BatchRunner:
         stop_event: Optional[Any] = None,
         memory_probe: Any = current_rss_bytes,
         fsync: bool = True,
+        on_outcome: Optional[Any] = None,
     ) -> None:
         if checkpoint_interval is not None and checkpoint_interval <= 0:
             raise ValueError(
@@ -190,6 +191,11 @@ class BatchRunner:
         self.stop_event = stop_event if stop_event is not None else _NeverStop()
         self.memory_probe = memory_probe
         self.fsync = fsync
+        #: Progress hook: called with each InstanceOutcome as it is recorded
+        #: (including journal-replayed ones on resume, with
+        #: ``outcome.replayed`` set).  Errors are swallowed — observers must
+        #: never damage the batch.
+        self.on_outcome = on_outcome
         self.journal_path = os.path.join(out_dir, JOURNAL_NAME)
         self.incidents_path = os.path.join(out_dir, INCIDENTS_NAME)
         self._portfolio: Optional[Any] = None
@@ -267,9 +273,9 @@ class BatchRunner:
                 if last is not None and last["kind"] in TERMINAL_KINDS:
                     # Completed work is re-reported verbatim, never re-solved
                     # and never duplicated.
-                    result.outcomes[instance_id] = InstanceOutcome.from_record(
-                        last
-                    )
+                    replayed = InstanceOutcome.from_record(last)
+                    result.outcomes[instance_id] = replayed
+                    self._notify_outcome(replayed)
                     if self.telemetry.enabled:
                         self.telemetry.counter("batch.replayed").add()
                     continue
@@ -311,6 +317,7 @@ class BatchRunner:
                     result.interrupted = True
                     break
                 result.outcomes[entry.instance_id] = outcome
+                self._notify_outcome(outcome)
             if result.interrupted:
                 writer.append("interrupted", data={"pending": True})
                 if self.telemetry.enabled:
@@ -621,6 +628,14 @@ class BatchRunner:
                 "batch.incident", kind=kind, id=instance_id
             )
         return incident
+
+    def _notify_outcome(self, outcome: InstanceOutcome) -> None:
+        if self.on_outcome is None:
+            return
+        try:
+            self.on_outcome(outcome)
+        except Exception:  # noqa: BLE001 — progress hooks are best-effort
+            pass
 
     def _count_outcome(self, kind: str) -> None:
         if self.telemetry.enabled:

@@ -1,0 +1,64 @@
+"""Solver-as-a-service: the async multi-tenant ``repro serve`` daemon.
+
+This package turns the runtime stack into a long-running product surface
+(see docs/service.md):
+
+* :mod:`repro.service.protocol` — wire dataclasses and the byte-stable
+  JSON codec (structured 400s for malformed payloads);
+* :mod:`repro.service.admission` — bounded admission, FIFO dispatch, and
+  exact per-tenant wall-clock/node budgets (structured 429s);
+* :mod:`repro.service.jobs` — the write-ahead service journal: terminal
+  results re-report verbatim after a kill, in-flight jobs resume;
+* :mod:`repro.service.app` — the stdlib-only asyncio HTTP front-end
+  (``/v1/solve``, ``/v1/batch``, ``/v1/certify``, ``/v1/status``,
+  ``/v1/stream/<job>`` SSE progress).
+
+Start one from Python::
+
+    from repro.service import ServiceConfig, run_service
+
+    run_service(ServiceConfig(state_dir="state", port=8765))
+
+or from the shell: ``repro-fpga serve --dir state --port 8765``.
+"""
+
+from .admission import AdmissionController, AdmissionError, TenantBudget, Ticket
+from .app import ServiceConfig, SolverService, run_service
+from .jobs import (
+    JOB_RECORD_KINDS,
+    JOB_TERMINAL_KINDS,
+    SERVICE_JOURNAL,
+    Job,
+    JobStore,
+)
+from .protocol import (
+    BatchRequest,
+    CertifyRequest,
+    ProtocolError,
+    SolveRequest,
+    request_from_dict,
+    solve_answer,
+    solve_response,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "BatchRequest",
+    "CertifyRequest",
+    "JOB_RECORD_KINDS",
+    "JOB_TERMINAL_KINDS",
+    "Job",
+    "JobStore",
+    "ProtocolError",
+    "SERVICE_JOURNAL",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolverService",
+    "TenantBudget",
+    "Ticket",
+    "request_from_dict",
+    "run_service",
+    "solve_answer",
+    "solve_response",
+]

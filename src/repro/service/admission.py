@@ -1,0 +1,267 @@
+"""Admission control and per-tenant budgets for the solve service.
+
+The daemon accepts work in two gated steps:
+
+1. **Admission** (:meth:`AdmissionController.admit`) — synchronous, at
+   request-parse time.  A request is rejected with a structured 429 when
+   the service already holds ``capacity`` admitted-but-unfinished jobs
+   (*queue-full*), or when the submitting tenant has exhausted its
+   wall-clock or node budget (*budget-exhausted*).  Admission returns a
+   :class:`Ticket` that owns one queue slot until released.
+
+2. **Dispatch** (:meth:`AdmissionController.acquire`) — asynchronous.  At
+   most ``concurrency`` tickets run at once; the rest wait in strict FIFO
+   order, so no tenant can starve another: the *k*-th admitted job starts
+   after at most *k-1* completions, whatever the interleaving.
+
+Budgets are charged on :meth:`AdmissionController.release` with the
+observed wall-clock seconds and search nodes of the finished job, under
+one lock, so concurrent completions from executor threads sum exactly —
+every charged unit is attributed to exactly one tenant and one ticket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional, Tuple
+
+
+class AdmissionError(Exception):
+    """A rejected submission (the HTTP layer renders it as a 429/503)."""
+
+    def __init__(
+        self,
+        code: str,
+        reason: str,
+        http_status: int = 429,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(reason)
+        self.code = code
+        self.reason = reason
+        self.http_status = http_status
+        self.retry_after = retry_after
+
+
+@dataclass
+class TenantBudget:
+    """Cumulative resource accounting for one tenant.
+
+    ``None`` limits mean unmetered.  Budgets are *monotone*: usage only
+    grows, and exhaustion is checked at admission time — a job admitted
+    under a live budget runs to completion even if it spends the rest.
+    """
+
+    wall_seconds: Optional[float] = None
+    nodes: Optional[int] = None
+    used_seconds: float = 0.0
+    used_nodes: int = 0
+    jobs: int = 0
+
+    def exhausted(self) -> Optional[str]:
+        """The exhausted dimension (``"seconds"``/``"nodes"``), or ``None``."""
+        if self.wall_seconds is not None and self.used_seconds >= self.wall_seconds:
+            return "seconds"
+        if self.nodes is not None and self.used_nodes >= self.nodes:
+            return "nodes"
+        return None
+
+    def charge(self, seconds: float, nodes: int) -> None:
+        self.used_seconds += max(0.0, float(seconds))
+        self.used_nodes += max(0, int(nodes))
+        self.jobs += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "nodes": self.nodes,
+            "used_seconds": self.used_seconds,
+            "used_nodes": self.used_nodes,
+            "jobs": self.jobs,
+            "exhausted": self.exhausted(),
+        }
+
+
+@dataclass
+class Ticket:
+    """One admitted job's claim on a queue slot (and later a run slot)."""
+
+    tenant: str
+    seq: int
+    admitted_at: float
+    started_at: Optional[float] = None
+    released: bool = False
+
+
+@dataclass
+class AdmissionStats:
+    admitted: int = 0
+    rejected_capacity: int = 0
+    rejected_budget: int = 0
+    completed: int = 0
+    peak_in_flight: int = 0
+    peak_running: int = 0
+    start_order: list = field(default_factory=list)  # ticket seqs, FIFO audit
+
+
+class AdmissionController:
+    """Bounded admission + FIFO dispatch + exact budget accounting.
+
+    All state transitions happen under one lock, so the controller can be
+    driven from the event loop and from executor threads interchangeably;
+    the asynchronous :meth:`acquire` parks waiters as loop futures that
+    :meth:`release` resolves in admission order.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        concurrency: int = 2,
+        tenant_seconds: Optional[float] = None,
+        tenant_nodes: Optional[int] = None,
+        clock: Any = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        self.capacity = capacity
+        self.concurrency = concurrency
+        self.tenant_seconds = tenant_seconds
+        self.tenant_nodes = tenant_nodes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.in_flight = 0  # admitted, not yet released
+        self.running = 0  # holding a run slot
+        self._waiters: Deque[Tuple[Ticket, "asyncio.Future", Any]] = deque()
+        self.tenants: Dict[str, TenantBudget] = {}
+        self.stats = AdmissionStats()
+
+    # -- budgets -----------------------------------------------------------
+
+    def budget(self, tenant: str) -> TenantBudget:
+        with self._lock:
+            return self._budget_locked(tenant)
+
+    def _budget_locked(self, tenant: str) -> TenantBudget:
+        budget = self.tenants.get(tenant)
+        if budget is None:
+            budget = TenantBudget(
+                wall_seconds=self.tenant_seconds, nodes=self.tenant_nodes
+            )
+            self.tenants[tenant] = budget
+        return budget
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, tenant: str, force: bool = False) -> Ticket:
+        """Claim a queue slot for ``tenant`` or raise :class:`AdmissionError`.
+
+        ``force`` bypasses the capacity and budget gates (used when a
+        resumed daemon re-enqueues jobs it already accepted before the
+        crash — admission is durable, so they must not bounce)."""
+        with self._lock:
+            budget = self._budget_locked(tenant)
+            if not force:
+                dimension = budget.exhausted()
+                if dimension is not None:
+                    self.stats.rejected_budget += 1
+                    raise AdmissionError(
+                        "budget-exhausted",
+                        f"tenant {tenant!r} exhausted its {dimension} budget",
+                        retry_after=None,
+                    )
+                if self.in_flight >= self.capacity:
+                    self.stats.rejected_capacity += 1
+                    raise AdmissionError(
+                        "queue-full",
+                        f"service holds {self.in_flight} in-flight jobs "
+                        f"(capacity {self.capacity})",
+                        retry_after=1.0,
+                    )
+            self._seq += 1
+            self.in_flight += 1
+            self.stats.admitted += 1
+            self.stats.peak_in_flight = max(
+                self.stats.peak_in_flight, self.in_flight
+            )
+            return Ticket(
+                tenant=tenant, seq=self._seq, admitted_at=self._clock()
+            )
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def acquire(self, ticket: Ticket) -> None:
+        """Wait for a run slot, strictly FIFO over waiting tickets."""
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            if self.running < self.concurrency and not self._waiters:
+                self._start_locked(ticket)
+                return
+            future: "asyncio.Future" = loop.create_future()
+            self._waiters.append((ticket, future, loop))
+        await future
+
+    def _start_locked(self, ticket: Ticket) -> None:
+        self.running += 1
+        self.stats.peak_running = max(self.stats.peak_running, self.running)
+        ticket.started_at = self._clock()
+        self.stats.start_order.append(ticket.seq)
+
+    def release(self, ticket: Ticket, *, seconds: float = 0.0, nodes: int = 0) -> None:
+        """Finish a ticket: charge its tenant, free its slots, wake the next
+        FIFO waiter.  Idempotent — a double release is a no-op, so error
+        paths can release unconditionally."""
+        grant: Optional[Tuple[Ticket, "asyncio.Future", Any]] = None
+        with self._lock:
+            if ticket.released:
+                return
+            ticket.released = True
+            self._budget_locked(ticket.tenant).charge(seconds, nodes)
+            self.in_flight -= 1
+            self.stats.completed += 1
+            if ticket.started_at is not None:
+                self.running -= 1
+            while self._waiters:
+                candidate = self._waiters.popleft()
+                if candidate[1].cancelled() or candidate[0].released:
+                    continue  # client went away while queued
+                grant = candidate
+                break
+            if grant is not None:
+                self._start_locked(grant[0])
+        if grant is not None:
+            _, future, loop = grant
+            loop.call_soon_threadsafe(_resolve, future)
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "concurrency": self.concurrency,
+                "in_flight": self.in_flight,
+                "running": self.running,
+                "queued": len(self._waiters),
+                "admitted": self.stats.admitted,
+                "completed": self.stats.completed,
+                "rejected_capacity": self.stats.rejected_capacity,
+                "rejected_budget": self.stats.rejected_budget,
+                "peak_in_flight": self.stats.peak_in_flight,
+                "peak_running": self.stats.peak_running,
+                "tenants": {
+                    name: budget.snapshot()
+                    for name, budget in sorted(self.tenants.items())
+                },
+            }
+
+
+def _resolve(future: "asyncio.Future") -> None:
+    if not future.cancelled():
+        future.set_result(None)

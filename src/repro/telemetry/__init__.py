@@ -54,6 +54,7 @@ class Telemetry:
         self.enabled = enabled
         self.tracer = Tracer() if enabled else NULL_TRACER
         self.metrics = MetricsRegistry() if enabled else NULL_METRICS
+        self._listeners: List[Any] = []
 
     # -- convenience delegates --------------------------------------------
 
@@ -62,6 +63,21 @@ class Telemetry:
 
     def event(self, name: str, **attrs: Any) -> None:
         self.tracer.event(name, **attrs)
+        for listener in self._listeners:
+            try:
+                listener(name, attrs)
+            except Exception:  # noqa: BLE001 — observers never break a solve
+                pass
+
+    def add_listener(self, listener: Any) -> "Telemetry":
+        """Subscribe a ``listener(name, attrs)`` callable to every
+        :meth:`event` as it happens — live progress for streaming consumers
+        (the service's SSE endpoint) without buffering the whole trace.
+        Listener errors are swallowed: observability must never change a
+        solver answer.  No-op when telemetry is off."""
+        if self.enabled:
+            self._listeners.append(listener)
+        return self
 
     def counter(self, name: str):
         return self.metrics.counter(name)

@@ -313,6 +313,7 @@ class TestPublicApiSnapshot:
             "io",
             "parallel",
             "runtime",
+            "service",
             "telemetry",
             "__version__",
         ]

@@ -1,0 +1,254 @@
+"""Admission control and tenant budgets under concurrency (satellite 2).
+
+The invariants the service's front door promises (see
+:mod:`repro.service.admission`):
+
+* never over-admit — in-flight jobs never exceed ``capacity``, running
+  jobs never exceed ``concurrency``, whatever the interleaving;
+* budgets sum exactly — every charged second/node lands on exactly one
+  tenant, concurrent completions from worker threads included;
+* bounded starvation — dispatch is strictly FIFO over admitted tickets,
+  so the k-th admitted job starts after at most k-1 completions.
+
+The stateful test drives a seeded random schedule of admissions and
+releases from multiple threads and checks the invariants afterward
+against the controller's own peak accounting.
+"""
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.service import AdmissionController, AdmissionError
+from tests._service_helpers import (
+    ServiceThread,
+    request_json,
+    small_instance,
+    solve_payload,
+)
+
+
+class TestCapacityGate:
+    def test_admits_to_capacity_then_rejects(self):
+        controller = AdmissionController(capacity=3, concurrency=1)
+        tickets = [controller.admit("t") for _ in range(3)]
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit("t")
+        assert excinfo.value.code == "queue-full"
+        assert excinfo.value.http_status == 429
+        controller.release(tickets[0])
+        controller.admit("t")  # slot freed: admitted again
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(capacity=2, concurrency=1)
+        ticket = controller.admit("t")
+        controller.release(ticket, seconds=1.0, nodes=10)
+        controller.release(ticket, seconds=1.0, nodes=10)
+        budget = controller.budget("t")
+        assert budget.used_seconds == 1.0
+        assert budget.used_nodes == 10
+        assert controller.in_flight == 0
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionController(concurrency=0)
+
+
+class TestBudgets:
+    def test_exhausted_tenant_rejected_others_admitted(self):
+        controller = AdmissionController(
+            capacity=8, concurrency=1, tenant_seconds=1.0
+        )
+        ticket = controller.admit("alice")
+        controller.release(ticket, seconds=1.5)
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit("alice")
+        assert excinfo.value.code == "budget-exhausted"
+        assert "seconds" in excinfo.value.reason
+        controller.admit("bob")  # budgets are per-tenant
+
+    def test_node_budget_dimension(self):
+        controller = AdmissionController(
+            capacity=8, concurrency=1, tenant_nodes=100
+        )
+        controller.release(controller.admit("t"), nodes=100)
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit("t")
+        assert "nodes" in excinfo.value.reason
+
+    def test_force_bypasses_both_gates(self):
+        controller = AdmissionController(
+            capacity=1, concurrency=1, tenant_seconds=0.5
+        )
+        controller.release(controller.admit("t"), seconds=1.0)
+        # Budget exhausted AND capacity would allow it; then fill capacity
+        # too and force again: resume re-admission must never bounce.
+        forced = controller.admit("t", force=True)
+        controller.admit("other", force=True)
+        assert controller.in_flight == 2  # force also bypassed capacity
+        controller.release(forced)
+
+    def test_charges_sum_exactly_across_threads(self):
+        controller = AdmissionController(capacity=1024, concurrency=4)
+        tenants = ["a", "b", "c"]
+        # 0.25 increments are binary-exact: float addition cannot smear
+        # the totals, so "sums exactly" means exact equality.
+        per_thread, per_tenant_jobs = 50, {}
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for _ in range(per_thread):
+                tenant = rng.choice(tenants)
+                ticket = controller.admit(tenant)
+                controller.release(ticket, seconds=0.25, nodes=3)
+                per_tenant_jobs.setdefault(tenant, []).append(1)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = controller.snapshot()
+        total_jobs = 0
+        for tenant in tenants:
+            jobs = len(per_tenant_jobs.get(tenant, []))
+            total_jobs += jobs
+            budget = snapshot["tenants"][tenant]
+            assert budget["used_seconds"] == 0.25 * jobs
+            assert budget["used_nodes"] == 3 * jobs
+            assert budget["jobs"] == jobs
+        assert total_jobs == 4 * per_thread
+        assert snapshot["completed"] == total_jobs
+        assert snapshot["in_flight"] == 0
+
+
+class TestDispatch:
+    def test_concurrency_bound_and_fifo_order(self):
+        async def scenario():
+            controller = AdmissionController(capacity=64, concurrency=2)
+            tickets = [controller.admit("t") for _ in range(10)]
+            done = []
+
+            async def run(i, ticket):
+                await controller.acquire(ticket)
+                assert controller.running <= 2
+                await asyncio.sleep(0.001 * ((i * 7) % 3))
+                done.append(i)
+                controller.release(ticket, seconds=0.25)
+
+            await asyncio.gather(
+                *(run(i, t) for i, t in enumerate(tickets))
+            )
+            return controller, tickets
+
+        controller, tickets = asyncio.run(scenario())
+        assert controller.stats.peak_running <= 2
+        # Strict FIFO: run slots granted in admission order, so the k-th
+        # admitted ticket waited for at most k-1 completions.
+        assert controller.stats.start_order == [t.seq for t in tickets]
+        assert controller.running == 0
+        assert controller.in_flight == 0
+
+    def test_stateful_random_schedules(self):
+        """Seeded random admit/release interleavings across threads: the
+        peaks recorded under the controller's own lock must respect the
+        configured bounds, and the books must balance at quiescence."""
+        for seed in range(8):
+            rng = random.Random(seed)
+            capacity = rng.randint(2, 6)
+            controller = AdmissionController(
+                capacity=capacity, concurrency=rng.randint(1, 3)
+            )
+            errors = []
+
+            def worker(worker_seed, controller=controller, errors=errors,
+                       capacity=capacity):
+                wrng = random.Random(worker_seed)
+                held = []
+                for _ in range(40):
+                    if held and wrng.random() < 0.5:
+                        controller.release(
+                            held.pop(wrng.randrange(len(held))),
+                            seconds=0.25,
+                            nodes=1,
+                        )
+                    else:
+                        try:
+                            held.append(
+                                controller.admit(f"w{worker_seed % 2}")
+                            )
+                        except AdmissionError as exc:
+                            if exc.code != "queue-full":
+                                errors.append(exc)
+                for ticket in held:
+                    controller.release(ticket, seconds=0.25, nodes=1)
+
+            threads = [
+                threading.Thread(target=worker, args=(seed * 10 + k,))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            snapshot = controller.snapshot()
+            assert snapshot["peak_in_flight"] <= capacity
+            assert snapshot["in_flight"] == 0
+            assert snapshot["running"] == 0
+            assert snapshot["completed"] == snapshot["admitted"]
+            charged = sum(
+                b["jobs"] for b in snapshot["tenants"].values()
+            )
+            assert charged == snapshot["admitted"]
+
+
+class TestOverHttp:
+    def test_queue_full_is_a_structured_429(self, tmp_path):
+        with ServiceThread(tmp_path, queue_capacity=2) as st:
+            fillers = [
+                st.service.admission.admit("filler") for _ in range(2)
+            ]
+            status, body, headers = request_json(
+                st.port, "POST", "/v1/solve", solve_payload(small_instance())
+            )
+            assert status == 429
+            assert body["error"]["code"] == "queue-full"
+            assert "Retry-After" in headers
+            for ticket in fillers:
+                st.service.admission.release(ticket)
+            status, body, _ = request_json(
+                st.port, "POST", "/v1/solve", solve_payload(small_instance())
+            )
+            assert status == 200
+            assert body["state"] == "done"
+
+    def test_budget_exhaustion_is_a_structured_429(self, tmp_path):
+        with ServiceThread(tmp_path, tenant_seconds=1e-9) as st:
+            status, body, _ = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(small_instance(), tenant="greedy"),
+            )
+            assert status == 200  # admitted while the budget was untouched
+            status, body, _ = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(small_instance(), tenant="greedy"),
+            )
+            assert status == 429
+            assert body["error"]["code"] == "budget-exhausted"
+            # Another tenant is unaffected.
+            status, _, _ = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(small_instance(), tenant="frugal"),
+            )
+            assert status == 200
+            snapshot = request_json(st.port, "GET", "/v1/status")[1]
+            greedy = snapshot["admission"]["tenants"]["greedy"]
+            assert greedy["exhausted"] == "seconds"
+            assert greedy["jobs"] == 1

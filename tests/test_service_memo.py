@@ -1,0 +1,148 @@
+"""Cross-tenant memoization through the shared canonical-form cache
+(satellite 3).
+
+Two isomorphism-equivalent instances — boxes permuted and renamed —
+submitted by *different tenants* must cost exactly one solve: the second
+request is served from the shared memo (``cache_hit: true``, the
+``service.solves`` counter stays at 1) and its witness is mapped back
+through the relabeling and geometrically re-validated.
+
+The poisoning guard reuses :func:`repro.parallel.corrupt_cache_entry`:
+a flipped byte in the disk store must be quarantined — never served —
+and the re-solve must still produce the correct answer.
+"""
+
+from repro.core.opp import solve_opp
+from repro.core.boxes import Placement
+from repro.parallel import corrupt_cache_entry
+from tests._service_helpers import (
+    ServiceThread,
+    iso_variant,
+    precedence_instance,
+    request_json,
+    small_instance,
+    solve_payload,
+)
+
+
+def _answer(body):
+    return body["response"]["answer"]
+
+
+class TestCrossTenantMemo:
+    def test_isomorphic_instances_cost_one_solve(self, tmp_path):
+        instance = small_instance()
+        variant = iso_variant(instance)
+        with ServiceThread(tmp_path) as st:
+            status, first, _ = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(instance, tenant="alice"),
+            )
+            assert status == 200
+            assert first["response"]["cache_hit"] is False
+
+            status, second, _ = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(variant, tenant="bob"),
+            )
+            assert status == 200
+            assert second["response"]["cache_hit"] is True
+
+            snapshot = request_json(st.port, "GET", "/v1/status")[1]
+            assert snapshot["cache"]["hits"] == 1
+            assert snapshot["cache"]["misses"] == 1
+            assert snapshot["metrics"]["counters"]["service.solves"] == 1
+            assert (
+                snapshot["metrics"]["counters"]["service.cache_hits"] == 1
+            )
+
+        # The memoized answer agrees on the instance-deterministic fields.
+        assert _answer(first)["status"] == _answer(second)["status"] == "sat"
+        assert _answer(first)["value"] == _answer(second)["value"]
+
+        # The hit's witness was mapped back through the relabeling: it must
+        # be a valid placement of the *variant*, not of the original.
+        positions = [tuple(p) for p in _answer(second)["positions"]]
+        assert Placement(variant, positions).violations() == []
+
+    def test_precedence_respecting_memo(self, tmp_path):
+        """Isomorphism includes the precedence DAG: the relabeled arcs must
+        map to the same canonical form, and the mapped-back witness must
+        satisfy the variant's own arcs."""
+        instance = precedence_instance()
+        variant = iso_variant(instance)
+        with ServiceThread(tmp_path) as st:
+            first = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(instance, tenant="a"),
+            )[1]
+            second = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(variant, tenant="b"),
+            )[1]
+        assert first["response"]["cache_hit"] is False
+        assert second["response"]["cache_hit"] is True
+        positions = [tuple(p) for p in _answer(second)["positions"]]
+        assert Placement(variant, positions).violations() == []
+
+    def test_distinct_instances_do_not_collide(self, tmp_path):
+        with ServiceThread(tmp_path) as st:
+            request_json(
+                st.port, "POST", "/v1/solve", solve_payload(small_instance())
+            )
+            body = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(precedence_instance()),
+            )[1]
+            assert body["response"]["cache_hit"] is False
+            snapshot = request_json(st.port, "GET", "/v1/status")[1]
+            assert snapshot["metrics"]["counters"]["service.solves"] == 2
+
+
+class TestPoisoningGuard:
+    def test_corrupt_disk_entry_quarantined_not_served(self, tmp_path):
+        cache_dir = str(tmp_path / "memo")
+        state_a = tmp_path / "state-a"
+        state_b = tmp_path / "state-b"
+        instance = small_instance()
+        reference = solve_opp(instance)
+
+        # Daemon generation 1 populates the disk store.
+        with ServiceThread(state_a, cache_dir=cache_dir) as st:
+            body = request_json(
+                st.port, "POST", "/v1/solve", solve_payload(instance)
+            )[1]
+            assert body["response"]["cache_hit"] is False
+
+        corrupted = corrupt_cache_entry(cache_dir, seed=0)
+        assert corrupted
+
+        # Generation 2 (fresh in-memory cache, same disk store) must refuse
+        # the poisoned entry, quarantine it, and re-solve correctly.
+        with ServiceThread(state_b, cache_dir=cache_dir) as st:
+            body = request_json(
+                st.port, "POST", "/v1/solve", solve_payload(instance)
+            )[1]
+            assert body["response"]["cache_hit"] is False
+            snapshot = request_json(st.port, "GET", "/v1/status")[1]
+            assert snapshot["cache"]["quarantined"] >= 1
+        answer = _answer(body)
+        assert answer["status"] == reference.status
+        positions = [tuple(p) for p in answer["positions"]]
+        assert Placement(instance, positions).violations() == []
+
+    def test_clean_disk_store_survives_daemon_generations(self, tmp_path):
+        cache_dir = str(tmp_path / "memo")
+        instance = small_instance()
+        with ServiceThread(tmp_path / "s1", cache_dir=cache_dir) as st:
+            request_json(
+                st.port, "POST", "/v1/solve", solve_payload(instance)
+            )
+        with ServiceThread(tmp_path / "s2", cache_dir=cache_dir) as st:
+            body = request_json(
+                st.port, "POST", "/v1/solve",
+                solve_payload(iso_variant(instance), tenant="other"),
+            )[1]
+            assert body["response"]["cache_hit"] is True
+            snapshot = request_json(st.port, "GET", "/v1/status")[1]
+            assert "service.solves" not in snapshot["metrics"]["counters"]
