@@ -67,8 +67,11 @@ from . import (
 )
 from .api import PROBLEMS, solve
 from .certify import certify_batch_dir, certify_payload
+from .client import CircuitBreaker, DeadlineExceeded, ReproClient
+from .core.deadline import Deadline
 from .core.nogoods import LearningOptions
 from .core.opp import OPPResult, SolverOptions
+from .io.backoff import BackoffPolicy
 from .distributed import (
     DistributedOptions,
     DistributedResult,
@@ -91,6 +94,12 @@ __all__ = [
     "ResultCache",
     "PortfolioSolver",
     "Telemetry",
+    # deadlines + the resilient service client
+    "Deadline",
+    "BackoffPolicy",
+    "ReproClient",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     # the batch runtime + certification layer
     "BatchRunner",
     "run_batch",
@@ -105,6 +114,7 @@ __all__ = [
     "api",
     "baselines",
     "certify",
+    "client",
     "core",
     "distributed",
     "fpga",

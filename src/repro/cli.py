@@ -29,6 +29,7 @@ import time
 from typing import List, Optional
 
 from .core.bmp import minimize_base
+from .core.deadline import DEADLINE_LIMIT, Deadline, DeadlineError
 from .core.kernels import available as available_kernels
 from .core.nogoods import LearningOptions
 from .core.opp import SolverOptions, solve_opp
@@ -49,13 +50,17 @@ from .telemetry import Telemetry
 # (3, retry with a bigger budget) and from internal errors (1, report).
 # A graceful shutdown (SIGINT/SIGTERM) exits 5 after cancelling entrants
 # and flushing the journal and telemetry: "interrupted, resumable" is
-# distinct from every answer and every error.
+# distinct from every answer and every error.  A ``--deadline`` that
+# expired mid-solve exits 6: the printed answer is real (a certified
+# incumbent and/or proven bounds) but explicitly degraded — "take what
+# you got" (6) is different from "nothing was proven" (3).
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_UNSAT = 2
 EXIT_UNKNOWN = 3
 EXIT_INPUT = 4
 EXIT_INTERRUPTED = 5
+EXIT_DEADLINE = 6
 
 
 class _InputError(Exception):
@@ -68,12 +73,49 @@ _STATUS_EXIT_CODES = {
     "unsat": EXIT_UNSAT,
     "infeasible": EXIT_UNSAT,
     "unknown": EXIT_UNKNOWN,
+    "degraded": EXIT_DEADLINE,
 }
 
 
 def exit_code_for_status(status: str) -> int:
     """Map a solver/optimizer status to the CLI exit code."""
     return _STATUS_EXIT_CODES.get(status, EXIT_ERROR)
+
+
+def _deadline(args: argparse.Namespace) -> Optional[Deadline]:
+    """The invocation's end-to-end :class:`Deadline` (``--deadline SEC``),
+    born here — every layer underneath shares this one object."""
+    seconds = getattr(args, "deadline", None)
+    if seconds is None:
+        return None
+    try:
+        return Deadline.after(seconds)
+    except DeadlineError as exc:
+        raise _InputError(str(exc)) from exc
+
+
+def _deadline_degraded(result: object) -> bool:
+    """Did the end-to-end deadline degrade this answer?"""
+    if getattr(result, "status", None) == "degraded":
+        return True
+    marker = getattr(result, "degraded", None)
+    if isinstance(marker, dict) and marker.get("reason") == DEADLINE_LIMIT:
+        return True
+    stats = getattr(result, "stats", None)
+    return getattr(stats, "limit", None) == DEADLINE_LIMIT
+
+
+def _finish(result: object) -> int:
+    """Exit code for a result, with the one-line degradation note on
+    stderr when ``--deadline`` cut the run short."""
+    if _deadline_degraded(result):
+        print(
+            "note: --deadline expired; reporting the best certified "
+            "answer and bounds proven so far (exit 6)",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE
+    return exit_code_for_status(getattr(result, "status", "error"))
 
 
 def _telemetry(args: argparse.Namespace):
@@ -174,6 +216,7 @@ def _load_input(path: str, parse, what: str):
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = _load_input(args.instance, instance_from_dict, "instance file")
     cache = _make_cache(args)
+    deadline = _deadline(args)
     if args.workers and args.workers > 1:
         from .parallel import solve_opp_portfolio
 
@@ -182,6 +225,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
             time_limit=args.time_limit,
+            deadline=deadline,
             telemetry=_telemetry(args),
         )
         result = portfolio.to_opp_result()
@@ -193,7 +237,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         result = solve_opp(
             instance,
-            options=_solver_options(args),
+            options=_solver_options(args, deadline),
             cache=cache,
             telemetry=_telemetry(args),
         )
@@ -208,7 +252,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if result.placement is not None:
         for i, pos in enumerate(result.placement.positions):
             print(f"  {instance.boxes[i]}: anchor {pos}")
-    return exit_code_for_status(result.status)
+    return _finish(result)
 
 
 def _cmd_dsolve(args: argparse.Namespace) -> int:
@@ -225,6 +269,7 @@ def _cmd_dsolve(args: argparse.Namespace) -> int:
         solve_distributed,
     )
 
+    deadline = _deadline(args)
     if args.resume:
         if args.out is None:
             raise _InputError("--resume needs --out DIR (the run directory)")
@@ -236,6 +281,7 @@ def _cmd_dsolve(args: argparse.Namespace) -> int:
             reissue_budget=args.reissue_budget,
             deterministic=args.deterministic,
             wall_timeout=args.wall_timeout,
+            deadline=deadline,
         )
         try:
             result = DistributedSolver.resume(
@@ -262,6 +308,7 @@ def _cmd_dsolve(args: argparse.Namespace) -> int:
             wall_timeout=args.wall_timeout,
             solver=_solver_options(args),
             share_nogoods=args.learning,
+            deadline=deadline,
         )
         result = solve_distributed(
             instance, options, telemetry=_telemetry(args)
@@ -287,7 +334,7 @@ def _cmd_dsolve(args: argparse.Namespace) -> int:
     if result.placement is not None:
         for i, pos in enumerate(result.placement.positions):
             print(f"  box {i}: anchor {pos}")
-    return exit_code_for_status(result.status)
+    return _finish(result)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -367,7 +414,9 @@ def _load_graph(spec: str):
     return _load_input(spec, task_graph_from_dict, "task-graph file")
 
 
-def _solver_options(args: argparse.Namespace) -> SolverOptions:
+def _solver_options(
+    args: argparse.Namespace, deadline: Optional[Deadline] = None
+) -> SolverOptions:
     try:
         return SolverOptions(
             time_limit=args.time_limit,
@@ -375,12 +424,15 @@ def _solver_options(args: argparse.Namespace) -> SolverOptions:
             learning=LearningOptions(
                 enabled=getattr(args, "learning", False)
             ),
+            deadline=deadline,
         )
     except ValueError as exc:
         raise _InputError(str(exc)) from exc
 
 
-def _probe_engine(args: argparse.Namespace):
+def _probe_engine(
+    args: argparse.Namespace, deadline: Optional[Deadline] = None
+):
     """Cache + optional portfolio probe engine for optimizer commands.
 
     Returns ``(cache, opp_solver, close)``: with ``--workers N > 1`` every
@@ -400,12 +452,14 @@ def _probe_engine(args: argparse.Namespace):
     def opp_solver(instance, time_limit=None, resume_from=None):
         # ``time_limit``/``resume_from`` are supplied by the sweep's
         # deadline-budget runner (detected by signature); the tighter of
-        # the budget slice and ``--time-limit`` wins.
+        # the budget slice and ``--time-limit`` wins, and the end-to-end
+        # ``--deadline`` clips every probe on top of that.
         limits = [l for l in (args.time_limit, time_limit) if l is not None]
         return solver.solve(
             instance,
             time_limit=min(limits) if limits else None,
             resume_from=resume_from,
+            deadline=deadline,
         ).to_opp_result()
 
     return cache, opp_solver, solver.close
@@ -415,7 +469,8 @@ def _cmd_bmp(args: argparse.Namespace) -> int:
     from .fpga import minimize_chip
 
     graph = _load_graph(args.graph)
-    cache, opp_solver, close = _probe_engine(args)
+    deadline = _deadline(args)
+    cache, opp_solver, close = _probe_engine(args, deadline)
     try:
         outcome = minimize_chip(
             graph,
@@ -424,6 +479,7 @@ def _cmd_bmp(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            deadline=deadline,
             telemetry=_telemetry(args),
         )
     finally:
@@ -431,7 +487,13 @@ def _cmd_bmp(args: argparse.Namespace) -> int:
     print(f"{graph}: deadline {args.time}")
     if outcome.status != "optimal":
         print(f"status: {outcome.status}")
-        return exit_code_for_status(outcome.status)
+        if outcome.status == "degraded" and outcome.chip is not None:
+            details = outcome.details
+            print(
+                f"incumbent chip: {outcome.chip.width}x{outcome.chip.height}"
+                f" (proven bounds [{details.lower}, {details.upper}])"
+            )
+        return _finish(outcome.details or outcome)
     print(f"minimal square chip: {outcome.optimum}x{outcome.optimum}")
     if args.show_schedule and outcome.schedule is not None:
         print(outcome.schedule.table())
@@ -443,7 +505,8 @@ def _cmd_spp(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     chip = Chip(args.width, args.height or args.width)
-    cache, opp_solver, close = _probe_engine(args)
+    deadline = _deadline(args)
+    cache, opp_solver, close = _probe_engine(args, deadline)
     try:
         outcome = minimize_latency(
             graph,
@@ -452,6 +515,7 @@ def _cmd_spp(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            deadline=deadline,
             telemetry=_telemetry(args),
         )
     finally:
@@ -459,7 +523,13 @@ def _cmd_spp(args: argparse.Namespace) -> int:
     print(f"{graph}: chip {chip}")
     if outcome.status != "optimal":
         print(f"status: {outcome.status}")
-        return exit_code_for_status(outcome.status)
+        if outcome.status == "degraded" and outcome.details is not None:
+            details = outcome.details
+            print(
+                f"incumbent latency: {details.upper} cycles "
+                f"(proven bounds [{details.lower}, {details.upper}])"
+            )
+        return _finish(outcome.details or outcome)
     print(f"minimal latency: {outcome.optimum} cycles")
     if args.show_schedule and outcome.schedule is not None:
         print(outcome.schedule.gantt())
@@ -470,7 +540,8 @@ def _cmd_area(args: argparse.Namespace) -> int:
     from .core.bmp import minimize_area
 
     graph = _load_graph(args.graph)
-    cache, opp_solver, close = _probe_engine(args)
+    deadline = _deadline(args)
+    cache, opp_solver, close = _probe_engine(args, deadline)
     try:
         result = minimize_area(
             graph.boxes(),
@@ -480,6 +551,7 @@ def _cmd_area(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            deadline=deadline,
             telemetry=_telemetry(args),
         )
     finally:
@@ -487,7 +559,12 @@ def _cmd_area(args: argparse.Namespace) -> int:
     print(f"{graph}: deadline {args.time}")
     if result.status != "optimal":
         print(f"status: {result.status}")
-        return exit_code_for_status(result.status)
+        if result.status == "degraded" and result.width is not None:
+            print(
+                f"incumbent chip: {result.width}x{result.height} "
+                f"({result.area} cells, not proven minimal)"
+            )
+        return _finish(result)
     print(
         f"minimal chip: {result.width}x{result.height} "
         f"({result.area} cells)"
@@ -497,7 +574,8 @@ def _cmd_area(args: argparse.Namespace) -> int:
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    cache, opp_solver, close = _probe_engine(args)
+    deadline = _deadline(args)
+    cache, opp_solver, close = _probe_engine(args, deadline)
     try:
         front = explore_tradeoffs(
             graph,
@@ -506,11 +584,19 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
             cache=cache,
             opp_solver=opp_solver,
             deadline_budget=args.deadline_budget,
+            deadline=deadline,
             telemetry=_telemetry(args),
         )
     finally:
         close()
     print(pareto_report(front, str(graph)))
+    if front.status == "degraded":
+        print(
+            "note: --deadline expired mid-sweep; the front above is an "
+            "exact prefix, not the complete curve (exit 6)",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE
     return EXIT_OK
 
 
@@ -557,11 +643,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     def _graceful(signum, frame):  # noqa: ARG001 (signal handler shape)
         stop.set()
 
+    deadline = _deadline(args)
     runner = BatchRunner(
         args.out,
         options=SolverOptions(
             kernel=args.kernel,
             learning=LearningOptions(enabled=args.learning),
+            deadline=deadline,
         ),
         workers=args.workers,
         cache=_make_cache(args),
@@ -622,6 +710,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return EXIT_INTERRUPTED
     if result.count("quarantined") or result.count("failed"):
         return EXIT_ERROR
+    if deadline is not None and deadline.expired():
+        print(
+            "note: --deadline expired; instances reached before it are "
+            "exact, later ones degraded to unknown (exit 6)",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE
     if result.count("timed-out") or result.count("memory-limited"):
         return EXIT_UNKNOWN
     return EXIT_OK
@@ -733,6 +828,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-limit", type=float, default=None, help="seconds before giving up"
     )
     solve.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="end-to-end wall-clock deadline for the whole invocation; "
+        "when it expires the answer degrades explicitly (exit 6)",
+    )
+    solve.add_argument(
         "--kernel", choices=available_kernels(), default="bitmask",
         help="search kernel from the registry (default: bitmask; see "
         "docs/performance.md)",
@@ -783,6 +883,12 @@ def build_parser() -> argparse.ArgumentParser:
                 help="total wall-clock budget across ALL probes of the "
                 "sweep; interrupted probes resume from checkpoints, and "
                 "the result degrades to unknown (exit 3) when it runs out",
+            )
+            cmd.add_argument(
+                "--deadline", type=float, default=None, metavar="SEC",
+                help="end-to-end wall-clock deadline; when it expires "
+                "mid-sweep the result degrades to the certified incumbent "
+                "plus proven bounds (exit 6) instead of a bare unknown",
             )
         cmd.add_argument(
             "--workers", type=int, default=None,
@@ -843,6 +949,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--time-limit", dest="instance_time_limit", type=float, default=None,
         metavar="SEC", help="per-instance wall-clock watchdog",
+    )
+    batch.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="end-to-end deadline for the whole batch; instances reached "
+        "after it expires degrade to unknown (exit 6)",
     )
     batch.add_argument(
         "--memory-limit-mb", type=float, default=None, metavar="MB",
@@ -941,6 +1052,11 @@ def build_parser() -> argparse.ArgumentParser:
     dsolve.add_argument(
         "--wall-timeout", type=float, default=None, metavar="SEC",
         help="abandon the remaining subtrees after this much wall clock",
+    )
+    dsolve.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="end-to-end deadline: clips lease durations and abandons "
+        "remaining subtrees when it expires (exit 6, reason 'deadline')",
     )
     dsolve.add_argument(
         "--time-limit", type=float, default=None,

@@ -1,0 +1,539 @@
+"""A resilient, deadline-aware client for the solve service.
+
+Stdlib-only (``http.client``).  :class:`ReproClient` wraps the daemon's
+HTTP API with the failure handling a caller on a real network needs:
+
+* **Deadline propagation** — a :class:`~repro.core.deadline.Deadline`
+  (per call or client-wide) bounds the *whole* operation: connection
+  attempts, retries, backoff sleeps, and the server-side solve, which
+  receives the remaining budget as ``deadline_ms`` on the wire.  When the
+  budget runs out the client raises :class:`DeadlineExceeded` — it never
+  blocks past the deadline plus its margin.
+* **Retries with full jitter** — transient failures (connect errors,
+  resets, timeouts, 5xx, 429) retry under a shared
+  :class:`~repro.io.backoff.BackoffPolicy`; a server ``Retry-After`` is
+  honored as the floor of the wait.  Malformed responses count as
+  failures too — garbage from a broken middlebox retries like a reset.
+* **A per-host circuit breaker** — consecutive failures open the
+  breaker; while open, calls fail fast with :class:`CircuitOpenError`
+  instead of hammering a struggling server.  After ``reset_timeout`` one
+  half-open probe is let through: success closes the breaker, failure
+  re-opens it.
+* **Hedged reads** — idempotent GETs may race a second attempt after
+  ``hedge_delay`` seconds of silence; first answer wins.  Never applied
+  to POSTs (a solve is expensive and a batch is not idempotent).
+
+Local metrics (``client.metrics``) count retries, hedges, deadline
+give-ups, and breaker transitions (``breaker_transitions_total``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .core.deadline import DEFAULT_MARGIN, Deadline
+from .io.backoff import BackoffPolicy
+
+#: Connection/read timeout used when no deadline bounds the call.
+DEFAULT_TIMEOUT = 30.0
+
+#: Statuses that indicate a transient server condition worth retrying.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class ClientError(Exception):
+    """Base class for everything :class:`ReproClient` raises."""
+
+
+class DeadlineExceeded(ClientError):
+    """The operation's deadline ran out before a usable answer arrived."""
+
+
+class CircuitOpenError(ClientError):
+    """The breaker is open: the host failed repeatedly, fail fast."""
+
+
+class ServiceError(ClientError):
+    """A non-retryable HTTP error response (4xx other than 429)."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        reason = ""
+        if isinstance(body, dict):
+            reason = body.get("error", {}).get("reason", "")
+        super().__init__(f"HTTP {status}: {reason}")
+        self.status = status
+        self.body = body
+
+
+class TransportError(ClientError):
+    """All retries exhausted without a usable answer (no deadline set)."""
+
+
+@dataclass
+class ClientMetrics:
+    """Local observability: what the resilience machinery actually did."""
+
+    requests: int = 0
+    retries: int = 0
+    hedges: int = 0
+    deadline_giveups: int = 0
+    breaker_fastfails: int = 0
+    breaker_transitions_total: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "deadline_giveups": self.deadline_giveups,
+            "breaker_fastfails": self.breaker_fastfails,
+            "breaker_transitions_total": self.breaker_transitions_total,
+        }
+
+
+class CircuitBreaker:
+    """Closed → open after ``failure_threshold`` consecutive failures;
+    open → half-open after ``reset_timeout`` seconds; one half-open probe
+    decides: success closes, failure re-opens.  Thread-safe; ``clock`` is
+    injectable for deterministic tests."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.transitions = 0
+
+    def _move(self, state: str) -> None:
+        if state == self._state:
+            return
+        previous, self._state = self._state, state
+        self.transitions += 1
+        if self._on_transition is not None:
+            self._on_transition(previous, state)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._move(HALF_OPEN)
+
+    def allow(self) -> bool:
+        """May a request be attempted right now?  In half-open, the first
+        caller gets the probe slot; the rest are refused until it lands."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                # Claim the probe by provisionally re-opening; the probe's
+                # outcome (success/failure) settles the real state.
+                self._move(OPEN)
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._move(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state != OPEN and self._failures >= self.failure_threshold:
+                self._move(OPEN)
+                self._opened_at = self._clock()
+            elif self._state == OPEN:
+                self._opened_at = self._clock()
+
+
+def _abort_connection(conn: http.client.HTTPConnection) -> None:
+    """Forcibly fail an in-flight exchange (the deadline watchdog)."""
+    sock = getattr(conn, "sock", None)
+    if sock is not None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+    try:
+        conn.close()
+    except (OSError, http.client.HTTPException):
+        pass
+
+
+class ReproClient:
+    """One host:port's resilient front door to the solve service.
+
+    ``deadline`` (client-wide default) or the per-call ``deadline=``
+    bounds each operation end-to-end; without one, calls retry up to
+    ``retries`` times under ``timeout`` per attempt.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        deadline: Optional[Deadline] = None,
+        retries: int = 4,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        hedge_delay: Optional[float] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        margin: float = DEFAULT_MARGIN,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.deadline = deadline
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy(base=0.05, cap=1.0)
+        self.metrics = ClientMetrics()
+        self.breaker = breaker or CircuitBreaker()
+        if self.breaker._on_transition is None:
+            self.breaker._on_transition = self._on_breaker_transition
+        self.hedge_delay = hedge_delay
+        self.timeout = timeout
+        self.margin = margin
+        self._rng = rng or random.Random()
+
+    def _on_breaker_transition(self, previous: str, state: str) -> None:
+        self.metrics.breaker_transitions_total += 1
+
+    # -- public API --------------------------------------------------------
+
+    def solve(
+        self,
+        instance: Any,
+        *,
+        tenant: str = "public",
+        wait: bool = True,
+        deadline: Optional[Deadline] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Submit one solve; returns the decoded response body.
+
+        ``instance`` is either a :class:`~repro.core.boxes.PackingInstance`
+        or an already-serialized instance dict."""
+        payload: Dict[str, Any] = {
+            "instance": self._instance_dict(instance),
+            "tenant": tenant,
+            "wait": wait,
+        }
+        payload.update(extra)
+        return self._post("/v1/solve", payload, deadline)
+
+    def certify(
+        self,
+        certificate: Dict[str, Any],
+        *,
+        tenant: str = "public",
+        deadline: Optional[Deadline] = None,
+    ) -> Dict[str, Any]:
+        return self._post(
+            "/v1/certify",
+            {"certificate": certificate, "tenant": tenant},
+            deadline,
+        )
+
+    def status(self, deadline: Optional[Deadline] = None) -> Dict[str, Any]:
+        return self._get("/v1/status", deadline)
+
+    def health(self, deadline: Optional[Deadline] = None) -> Dict[str, Any]:
+        return self._get("/v1/health", deadline)
+
+    def ready(self, deadline: Optional[Deadline] = None) -> bool:
+        try:
+            self._get("/v1/ready", deadline)
+            return True
+        except ServiceError:
+            return False
+
+    def job(
+        self, job_id: str, deadline: Optional[Deadline] = None
+    ) -> Dict[str, Any]:
+        return self._get(f"/v1/status/{job_id}", deadline)
+
+    @staticmethod
+    def _instance_dict(instance: Any) -> Dict[str, Any]:
+        if isinstance(instance, dict):
+            return instance
+        from .io.serialize import instance_to_dict
+
+        return instance_to_dict(instance)
+
+    # -- request machinery -------------------------------------------------
+
+    def _post(
+        self, path: str, payload: Dict[str, Any], deadline: Optional[Deadline]
+    ) -> Dict[str, Any]:
+        deadline = deadline or self.deadline
+        return self._with_retries("POST", path, payload, deadline, hedged=False)
+
+    def _get(
+        self, path: str, deadline: Optional[Deadline]
+    ) -> Dict[str, Any]:
+        deadline = deadline or self.deadline
+        hedged = self.hedge_delay is not None
+        return self._with_retries("GET", path, None, deadline, hedged=hedged)
+
+    def _with_retries(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        deadline: Optional[Deadline],
+        hedged: bool,
+    ) -> Dict[str, Any]:
+        attempt = 0
+        last_error: Optional[Exception] = None
+        while True:
+            attempt += 1
+            if deadline is not None and deadline.solver_budget() <= 0:
+                self.metrics.deadline_giveups += 1
+                raise DeadlineExceeded(
+                    f"{method} {path}: deadline exhausted after "
+                    f"{attempt - 1} attempts ({last_error!r})"
+                )
+            if not self.breaker.allow():
+                self.metrics.breaker_fastfails += 1
+                if deadline is None:
+                    raise CircuitOpenError(
+                        f"{method} {path}: breaker open for "
+                        f"{self.host}:{self.port}"
+                    )
+                # With a deadline we can afford to wait for the half-open
+                # window instead of failing a request that still has time.
+                if not self._wait_for_breaker(deadline):
+                    self.metrics.deadline_giveups += 1
+                    raise DeadlineExceeded(
+                        f"{method} {path}: breaker stayed open past the "
+                        f"deadline"
+                    )
+            try:
+                status, body, headers = self._attempt(
+                    method, path, payload, deadline, hedged
+                )
+            except (OSError, http.client.HTTPException, ValueError) as exc:
+                # Resets, refusals, timeouts, and non-HTTP garbage all
+                # land here: transient transport failures, all retryable.
+                self.breaker.record_failure()
+                last_error = exc
+                if not self._pause(attempt, deadline, retry_after=None):
+                    break
+                continue
+            if status in RETRYABLE_STATUSES:
+                self.breaker.record_failure()
+                last_error = ServiceError(status, body)
+                retry_after = self._retry_after(headers)
+                if not self._pause(attempt, deadline, retry_after):
+                    break
+                continue
+            self.breaker.record_success()
+            if status >= 400:
+                raise ServiceError(status, body)
+            return body
+        if deadline is not None:
+            self.metrics.deadline_giveups += 1
+            raise DeadlineExceeded(
+                f"{method} {path}: deadline exhausted after {attempt} "
+                f"attempts ({last_error!r})"
+            )
+        raise TransportError(
+            f"{method} {path}: no answer after {attempt} attempts "
+            f"({last_error!r})"
+        )
+
+    def _wait_for_breaker(self, deadline: Deadline) -> bool:
+        """Sleep until the breaker would allow a probe or the deadline
+        budget runs dry; True if a probe became possible."""
+        while deadline.solver_budget() > 0:
+            if self.breaker.allow():
+                return True
+            time.sleep(
+                min(0.02, max(0.001, deadline.solver_budget()))
+            )
+        return False
+
+    def _pause(
+        self,
+        attempt: int,
+        deadline: Optional[Deadline],
+        retry_after: Optional[float],
+    ) -> bool:
+        """Back off before the next attempt; False = give up (retries or
+        budget exhausted)."""
+        if deadline is None and attempt > self.retries:
+            return False
+        wait = self.backoff.jittered(attempt, self._rng)
+        if retry_after is not None:
+            # The server told us when it expects to recover; waiting less
+            # just burns an attempt on a guaranteed 429.
+            wait = max(wait, retry_after)
+        if deadline is not None:
+            budget = deadline.solver_budget()
+            if budget <= 0:
+                return False
+            wait = min(wait, budget)
+        self.metrics.retries += 1
+        if wait > 0:
+            time.sleep(wait)
+        return True
+
+    @staticmethod
+    def _retry_after(headers: Dict[str, str]) -> Optional[float]:
+        value = headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
+
+    # -- single attempts ---------------------------------------------------
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        deadline: Optional[Deadline],
+        hedged: bool,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        if hedged and self.hedge_delay is not None and method == "GET":
+            return self._hedged_get(path, deadline)
+        return self._request_once(method, path, payload, deadline)
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        deadline: Optional[Deadline],
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        timeout = self.timeout
+        if deadline is not None:
+            budget = deadline.solver_budget()
+            if budget <= 0:
+                raise socket.timeout("deadline exhausted before connect")
+            timeout = min(timeout, budget)
+        body: Optional[bytes] = None
+        headers = {}
+        if payload is not None:
+            if deadline is not None and "deadline_ms" not in payload:
+                # Ship the *remaining* budget; the server re-anchors it.
+                payload = dict(payload)
+                payload["deadline_ms"] = max(
+                    1, int(deadline.solver_budget() * 1000)
+                )
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        self.metrics.requests += 1
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        watchdog: Optional[threading.Timer] = None
+        if deadline is not None:
+            # The socket timeout bounds each recv, not the exchange: a
+            # slow-loris response dripping a few bytes per poll would never
+            # trip it.  The watchdog shuts the socket down at budget expiry
+            # (shutdown, not close — the response's file object keeps the
+            # fd alive through a close) so the pending read fails instead
+            # of outliving the deadline.
+            watchdog = threading.Timer(
+                max(0.01, deadline.solver_budget()), _abort_connection, (conn,)
+            )
+            watchdog.daemon = True
+            watchdog.start()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if not raw:
+                # Every service endpoint answers JSON.  An empty body means
+                # the response was cut between the status line and the
+                # payload — a half-delivered answer, not a success.
+                raise http.client.HTTPException(
+                    f"{method} {path}: empty response body "
+                    f"(status {response.status})"
+                )
+            decoded = json.loads(raw)
+            return (
+                response.status,
+                decoded,
+                {k.lower(): v for k, v in response.getheaders()},
+            )
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+            conn.close()
+
+    def _hedged_get(
+        self, path: str, deadline: Optional[Deadline]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """Race a second GET after ``hedge_delay`` seconds of silence;
+        first non-exception answer wins, the loser is abandoned (its
+        daemon thread dies with its socket)."""
+        results: "list" = []
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                results.append(("ok", self._request_once(
+                    "GET", path, None, deadline
+                )))
+            except Exception as exc:  # noqa: BLE001 — re-raised by winner
+                results.append(("err", exc))
+            done.set()
+
+        first = threading.Thread(target=run, daemon=True)
+        first.start()
+        assert self.hedge_delay is not None
+        if not done.wait(timeout=self.hedge_delay):
+            self.metrics.hedges += 1
+            second = threading.Thread(target=run, daemon=True)
+            second.start()
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.01, deadline.solver_budget())
+        done.wait(timeout=remaining if remaining is not None else self.timeout)
+        # Prefer a success from either attempt; else surface an error.
+        for kind, value in results:
+            if kind == "ok":
+                return value
+        if results:
+            raise results[0][1]
+        raise socket.timeout(f"hedged GET {path}: no attempt answered")

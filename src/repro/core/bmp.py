@@ -18,12 +18,16 @@ from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
 from ..telemetry import coerce as _coerce_telemetry
 from .boxes import Box, Container, PackingInstance, Placement
+from .deadline import DEADLINE_LIMIT, Deadline
 from .opp import OPPResult, SolverOptions, solve_opp
 from .search import FaultRecord
 
 OPTIMAL = "optimal"
 INFEASIBLE = "infeasible"
 UNKNOWN = "unknown"
+#: Anytime answer: a certified incumbent plus the best proven bound,
+#: returned because the request's end-to-end deadline neared.
+DEGRADED = "degraded"
 
 # An OPP engine the optimization drivers can be pointed at instead of the
 # sequential ``solve_opp`` — e.g. ``lambda inst: portfolio.solve(inst)
@@ -60,6 +64,7 @@ class _ProbeRunner:
         cache: Optional[object] = None,
         opp_solver: Optional[OppSolver] = None,
         budget: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
         telemetry: Optional[object] = None,
     ) -> None:
         if budget is not None and budget <= 0:
@@ -68,6 +73,14 @@ class _ProbeRunner:
         self.cache = cache
         self.opp_solver = opp_solver
         self.budget = budget
+        #: A :class:`repro.core.deadline.Deadline` shared with every other
+        #: layer of the request.  Unlike ``budget`` (a sweep-local cap),
+        #: tripping it means the *request* is out of time: the drivers
+        #: return a ``"degraded"`` incumbent instead of ``"unknown"``.
+        self.deadline = deadline
+        #: True once the end-to-end deadline (not a mere per-sweep budget)
+        #: is what stopped probing — the drivers' degradation trigger.
+        self.deadline_hit = False
         self.telemetry = _coerce_telemetry(telemetry)
         self.started = time.monotonic()
         self.resume_slices = 0
@@ -98,9 +111,24 @@ class _ProbeRunner:
         )
 
     def remaining(self) -> Optional[float]:
-        if self.budget is None:
-            return None
-        return self.budget - (time.monotonic() - self.started)
+        left: Optional[float] = None
+        if self.budget is not None:
+            left = self.budget - (time.monotonic() - self.started)
+        if self.deadline is not None:
+            solver = self.deadline.solver_budget()
+            left = solver if left is None else min(left, solver)
+        return left
+
+    def _exhausted(self) -> OPPResult:
+        """The immediate 'no budget left' answer; stamps the reason so
+        drivers can tell the end-to-end deadline from a sweep budget."""
+        exhausted = OPPResult(status="unknown", stage="budget")
+        if self.deadline is not None and self.deadline.solver_budget() <= 0:
+            self.deadline_hit = True
+            exhausted.stats.limit = DEADLINE_LIMIT
+        else:
+            exhausted.stats.limit = "deadline budget exhausted"
+        return exhausted
 
     def _solve_once(
         self,
@@ -116,6 +144,11 @@ class _ProbeRunner:
                 kwargs["resume_from"] = resume_from
             return self.opp_solver(instance, **kwargs)
         options = self.options or SolverOptions()
+        if self.deadline is not None and options.deadline is None:
+            # Thread the shared deadline down to the node polls so the
+            # search itself reports "deadline" (not "time limit") when
+            # the end-to-end budget is what stopped it.
+            options = replace(options, deadline=self.deadline)
         if time_limit is not None:
             limit = (
                 time_limit
@@ -134,14 +167,14 @@ class _ProbeRunner:
     def solve(self, instance: PackingInstance) -> OPPResult:
         remaining = self.remaining()
         if remaining is not None and remaining <= 0:
-            exhausted = OPPResult(status="unknown", stage="budget")
-            exhausted.stats.limit = "deadline budget exhausted"
-            return exhausted
+            return self._exhausted()
         resume_from = None
         previous_decisions: Optional[Tuple] = None
         carried_stats = None
         while True:
             opp = self._solve_once(instance, remaining, resume_from)
+            if opp.stats.limit == DEADLINE_LIMIT:
+                self.deadline_hit = True
             if carried_stats is not None:
                 # Fold every counter of the earlier slices in — a resumed
                 # slice continues the same logical search, so conflicts,
@@ -156,7 +189,9 @@ class _ProbeRunner:
                 # probe (the node-accounting tests reconcile all three:
                 # SearchStats, the checkpoint, and the telemetry counter).
                 opp.checkpoint.nodes = opp.stats.nodes
-            if self.budget is None or opp.status in ("sat", "unsat"):
+            if (
+                self.budget is None and self.deadline is None
+            ) or opp.status in ("sat", "unsat"):
                 return opp
             checkpoint = opp.checkpoint
             remaining = self.remaining()
@@ -225,14 +260,30 @@ class Probe:
     nodes: int
 
 
+def _mark_degraded(result, runner: _ProbeRunner, gap: Optional[int] = None) -> bool:
+    """Attach the explicit degradation marker when the *end-to-end
+    deadline* (not a per-sweep budget or per-solve cap) is what stopped
+    probing.  Returns True exactly when the marker was attached, so the
+    caller can also upgrade ``status`` to ``"degraded"`` if it holds a
+    certified incumbent."""
+    if not runner.deadline_hit:
+        return False
+    result.degraded = {"reason": DEADLINE_LIMIT, "gap": gap}
+    return True
+
+
 @dataclass
 class OptimizationResult:
     """Outcome of a BMP/SPP run.
 
     ``status`` is ``"optimal"`` (with ``optimum`` and a validated
-    ``placement``), ``"infeasible"`` (no value can ever work), or
+    ``placement``), ``"infeasible"`` (no value can ever work),
     ``"unknown"`` (some probe hit a solver limit; ``lower`` / ``upper``
-    bracket the optimum as far as it is known).
+    bracket the optimum as far as it is known), or ``"degraded"`` — the
+    anytime outcome: the request's end-to-end deadline neared, so the
+    sweep returns its certified incumbent (``placement`` feasible at
+    ``upper``) plus the best proven ``lower`` bound, with ``degraded``
+    carrying the explicit ``{"reason", "gap"}`` marker.
 
     ``value`` / ``stats`` / ``faults`` / ``trace`` implement the common
     result protocol shared by every solver entry point (see
@@ -246,6 +297,7 @@ class OptimizationResult:
     upper: Optional[int] = None
     probes: List[Probe] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
+    degraded: Optional[dict] = None
     trace: Optional[object] = None
 
     @property
@@ -309,6 +361,7 @@ def minimize_area(
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
     _runner: Optional[_ProbeRunner] = None,
 ) -> "AreaResult":
@@ -324,12 +377,16 @@ def minimize_area(
 
     ``deadline_budget`` caps the *total* wall-clock spent across all probes
     (see :class:`_ProbeRunner`); when it runs out the result degrades to
-    ``"unknown"`` instead of overshooting.  ``telemetry`` records the sweep
-    under a ``solve`` span (one ``probe`` child per OPP decision).
+    ``"unknown"`` instead of overshooting.  ``deadline`` (a shared
+    :class:`repro.core.deadline.Deadline`) additionally caps probing at the
+    request's end-to-end budget; tripping it yields a ``"degraded"`` result
+    carrying the certified incumbent instead of ``"unknown"``.
+    ``telemetry`` records the sweep under a ``solve`` span (one ``probe``
+    child per OPP decision).
     """
     runner = _runner or _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget, telemetry=telemetry,
+        budget=deadline_budget, deadline=deadline, telemetry=telemetry,
     )
     telemetry = runner.telemetry
     with telemetry.span(
@@ -418,10 +475,16 @@ def _minimize_area(
             best = (area, width, hi, sat_placement)
     if best is None:
         result.status = UNKNOWN if inconclusive else INFEASIBLE
+        if inconclusive:
+            _mark_degraded(result, runner)
         return result
     result.status = OPTIMAL if not inconclusive else UNKNOWN
     result.area, result.width, result.height = best[0], best[1], best[2]
     result.placement = best[3]
+    if inconclusive:
+        lower_area = max(area_floor, min_width * min_height)
+        if _mark_degraded(result, runner, gap=max(0, best[0] - lower_area)):
+            result.status = DEGRADED
     return result
 
 
@@ -441,6 +504,7 @@ class AreaResult:
     placement: Optional[Placement] = None
     probes: List[Probe] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
+    degraded: Optional[dict] = None
     trace: Optional[object] = None
 
     @property
@@ -483,6 +547,7 @@ def minimize_base(
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
     _runner: Optional[_ProbeRunner] = None,
 ) -> OptimizationResult:
@@ -500,12 +565,15 @@ def minimize_base(
     of the search; interrupted probes resume from their checkpoints and the
     result degrades to ``"unknown"`` (with honest ``lower``/``upper``
     brackets) when the budget runs out — see :class:`_ProbeRunner`.
+    ``deadline`` (a shared :class:`repro.core.deadline.Deadline`) caps
+    probing at the request's end-to-end budget; tripping it with a SAT
+    incumbent in hand yields a ``"degraded"`` result instead.
     ``telemetry`` records the sweep under a ``solve`` span (one ``probe``
     child per OPP decision).
     """
     runner = _runner or _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget, telemetry=telemetry,
+        budget=deadline_budget, deadline=deadline, telemetry=telemetry,
     )
     telemetry = runner.telemetry
     with telemetry.span(
@@ -563,6 +631,7 @@ def _minimize_base(
             break
         if opp.status == "unknown":
             result.lower = last_unsat + 1
+            _mark_degraded(result, runner)  # no incumbent yet: status stays
             return result
         last_unsat = side
         side = max(side + 1, min(side * 2, max_side)) if side < max_side else max_side + 1
@@ -582,6 +651,14 @@ def _minimize_base(
             lo = mid + 1
         else:
             result.lower, result.upper = lo, hi
+            if (
+                _mark_degraded(result, runner, gap=hi - lo)
+                and upper_placement is not None
+            ):
+                # Anytime answer: the incumbent at ``upper`` is a fully
+                # certified placement; the optimum lies in [lower, upper].
+                result.status = DEGRADED
+                result.placement = upper_placement
             return result
     result.status = OPTIMAL
     result.optimum = hi

@@ -1,0 +1,120 @@
+"""End-to-end deadlines: one shared remaining-time source for a request.
+
+A :class:`Deadline` is an *absolute* point on the monotonic clock plus a
+safety margin.  It is born exactly once — at the client, the CLI, or the
+service front door — and every layer underneath (admission, jobs, probe
+sweeps, branch-and-bound node polls, portfolio entrants, distributed
+leases) asks the same object how much time is left instead of keeping its
+own ad-hoc wall-clock budget.  That is what makes "no call ever blocks
+past its deadline" a checkable end-to-end property rather than a hope.
+
+The **margin** is owned by whoever must still do work after the compute
+finishes: a server reserves it for response serialization and transport,
+a client for parsing the answer.  Solvers therefore budget against
+:meth:`Deadline.solver_budget` (remaining minus margin), never the raw
+remaining time.
+
+Monotonic time does not cross process or host boundaries, so a deadline
+travels the wire as a *relative* budget: ``deadline_ms``, the remaining
+milliseconds at send time (:meth:`to_wire` / :meth:`from_wire`).  The
+receiver re-anchors it on its own monotonic clock; network latency eats
+into the margin, which is exactly what the margin is for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Default safety margin (seconds) reserved for post-compute work.
+DEFAULT_MARGIN = 0.25
+
+#: ``stats.limit`` / degradation reason used when a deadline trips.
+DEADLINE_LIMIT = "deadline"
+
+
+class DeadlineError(ValueError):
+    """A malformed deadline (non-positive budget, bad wire value)."""
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute monotonic expiry plus the safety margin reserved after it.
+
+    Frozen: a deadline never moves once born; layers share the object.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    expires_at: float
+    margin: float = DEFAULT_MARGIN
+    clock: Callable[[], float] = field(
+        default=time.monotonic, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.margin < 0:
+            raise DeadlineError(f"margin must be non-negative, got {self.margin}")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        *,
+        margin: float = DEFAULT_MARGIN,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now (the usual birth point)."""
+        if seconds <= 0:
+            raise DeadlineError(f"deadline must be positive, got {seconds}")
+        return cls(expires_at=clock() + seconds, margin=margin, clock=clock)
+
+    @classmethod
+    def from_wire(
+        cls,
+        deadline_ms: int,
+        *,
+        margin: float = DEFAULT_MARGIN,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """Re-anchor a wire budget (remaining ms at send time) locally."""
+        if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool):
+            raise DeadlineError(
+                f"deadline_ms must be an integer, got {type(deadline_ms).__name__}"
+            )
+        if deadline_ms <= 0:
+            raise DeadlineError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        return cls(
+            expires_at=clock() + deadline_ms / 1000.0, margin=margin, clock=clock
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once past it)."""
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def solver_budget(self) -> float:
+        """Seconds a compute stage may still spend: remaining minus the
+        margin, floored at zero.  This is the number every solver layer
+        budgets against."""
+        return max(0.0, self.remaining() - self.margin)
+
+    def clip(self, limit: Optional[float]) -> Optional[float]:
+        """The tighter of ``limit`` and this deadline's solver budget
+        (``None`` limit means the budget alone governs)."""
+        budget = self.solver_budget()
+        if limit is None:
+            return budget
+        return min(limit, budget)
+
+    def to_wire(self) -> int:
+        """The remaining budget as whole milliseconds (floored at 0)."""
+        return max(0, int(self.remaining() * 1000))

@@ -26,6 +26,7 @@ from ..telemetry import coerce as _coerce_telemetry
 from .kernels import UnknownKernelError, available as available_kernels
 from .boxes import PackingInstance, Placement
 from .bounds import BOUND_NAMES, prove_infeasible_named
+from .deadline import DEADLINE_LIMIT, Deadline
 from .edgestate import PropagationOptions
 from .nogoods import LearningOptions
 from .search import (
@@ -75,6 +76,7 @@ class SolverOptions:
     branching: BranchingOptions = field(default_factory=BranchingOptions)
     node_limit: Optional[int] = None
     time_limit: Optional[float] = None
+    deadline: Optional[Deadline] = None
     fault_plan: Optional[object] = None
     kernel: str = "bitmask"
     disabled_bounds: tuple = ()
@@ -260,6 +262,17 @@ def solve_opp(
         result.stats.elapsed = time.monotonic() - start
         return result
 
+    if options.deadline is not None and options.deadline.solver_budget() <= 0:
+        # The request's end-to-end deadline leaves no compute budget: give
+        # the caller the explicit "deadline" reason so it can degrade
+        # rather than retry with a bigger per-solve cap.
+        result = OPPResult(status=UNKNOWN, stage=DEADLINE_LIMIT)
+        result.stats.limit = DEADLINE_LIMIT
+        result.stats.elapsed = time.monotonic() - start
+        if telemetry.enabled:
+            result.trace = telemetry
+        return result
+
     if options.use_bounds and resume_from is None:
         named = prove_infeasible_named(
             instance, disabled=options.disabled_bounds
@@ -302,6 +315,7 @@ def solve_opp(
             branching=options.branching,
             node_limit=options.node_limit,
             time_limit=options.time_limit,
+            deadline=options.deadline,
             should_stop=should_stop,
             resume_from=resume_from,
             fault_plan=_active_fault_plan(options),

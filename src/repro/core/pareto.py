@@ -13,8 +13,9 @@ from typing import List, Optional, Tuple
 
 from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
-from .bmp import OPTIMAL, OptimizationResult, _ProbeRunner, minimize_base
+from .bmp import DEGRADED, OPTIMAL, OptimizationResult, _ProbeRunner, minimize_base
 from .boxes import Box
+from .deadline import Deadline
 from .opp import SolverOptions
 from .search import FaultRecord
 
@@ -54,11 +55,24 @@ class ParetoFront:
 
     @property
     def status(self) -> str:
-        """``"optimal"`` when every latency step concluded, ``"unknown"``
-        when any ran into a solver limit (the curve may be incomplete)."""
+        """``"optimal"`` when every latency step concluded, ``"degraded"``
+        when the end-to-end deadline cut the sweep short (the points
+        computed so far are still exact), ``"unknown"`` when any step ran
+        into an ordinary solver limit (the curve may be incomplete)."""
+        if any(r.status == DEGRADED or r.degraded is not None for r in self.results):
+            return DEGRADED
         if any(r.status == "unknown" for r in self.results):
             return "unknown"
         return OPTIMAL
+
+    @property
+    def degraded(self) -> Optional[dict]:
+        """The first step's ``{"reason", "gap"}`` degradation marker, or
+        ``None`` when the sweep was never cut short by a deadline."""
+        for r in self.results:
+            if r.degraded is not None:
+                return r.degraded
+        return None
 
     @property
     def value(self) -> List[Tuple[int, int]]:
@@ -97,6 +111,7 @@ def pareto_front(
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
 ) -> ParetoFront:
     """Sweep latencies from the minimum achievable upward and minimize the
@@ -108,13 +123,16 @@ def pareto_front(
     ``deadline_budget`` is one wall-clock budget (seconds) shared by *every*
     OPP probe of the entire sweep — not per latency step — so the whole
     curve computation lands within the budget, degrading late points to
-    ``"unknown"`` rather than overrunning.  ``telemetry`` records the whole
-    sweep under one ``solve`` span; each latency step nests its own BMP
-    ``solve`` span beneath it.
+    ``"unknown"`` rather than overrunning.  ``deadline`` (a shared
+    :class:`repro.core.deadline.Deadline`) additionally stops the sweep at
+    the request's end-to-end budget; the front's status then reports
+    ``"degraded"`` while every point already computed stays exact.
+    ``telemetry`` records the whole sweep under one ``solve`` span; each
+    latency step nests its own BMP ``solve`` span beneath it.
     """
     runner = _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget, telemetry=telemetry,
+        budget=deadline_budget, deadline=deadline, telemetry=telemetry,
     )
     telemetry = runner.telemetry
     with telemetry.span(
@@ -172,6 +190,8 @@ def _pareto_front(
             _runner=runner,
         )
         front.results.append(result)
+        if runner.deadline_hit:
+            break  # out of end-to-end time: keep the exact prefix
         if result.status != OPTIMAL:
             continue
         side = result.optimum

@@ -385,6 +385,7 @@ class BranchAndBound:
         branching: Optional[BranchingOptions] = None,
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
+        deadline: Optional[Any] = None,
         pre_states: Optional[List[Tuple[int, int, int, int]]] = None,
         pre_arcs: Optional[List[Tuple[int, int, int]]] = None,
         should_stop: Optional[Callable[[], bool]] = None,
@@ -455,6 +456,13 @@ class BranchAndBound:
         self.branching = branching or BranchingOptions()
         self.node_limit = node_limit
         self.time_limit = time_limit
+        #: A :class:`repro.core.deadline.Deadline` shared across layers:
+        #: polled on the same 64-node cadence as the time limit, but the
+        #: search budgets against ``solver_budget()`` (remaining minus the
+        #: margin) and records ``"deadline"`` as the limit reason, so
+        #: callers can tell "my per-solve cap ran out" (retry with a bigger
+        #: one) from "the request's end-to-end deadline is near" (degrade).
+        self.deadline = deadline
         self.should_stop = should_stop
         self.fault_plan = fault_plan
         self.stats = SearchStats()
@@ -480,6 +488,7 @@ class BranchAndBound:
             self.stats.faults += 1
             self.resume_from = None
         self._deadline: Optional[float] = None
+        self._limit_reason = "time limit"
         if self.branching.strategy not in ("guided", "static"):
             raise ValueError(f"unknown strategy {self.branching.strategy!r}")
         self.learning = learning or LearningOptions()
@@ -586,8 +595,14 @@ class BranchAndBound:
         """Returns ``("sat", placement)``, ``("unsat", None)`` or
         ``("unknown", None)`` when a limit was reached."""
         start = time.monotonic()
+        self._limit_reason = "time limit"
         if self.time_limit is not None:
             self._deadline = start + self.time_limit
+        if self.deadline is not None:
+            budget_end = self.deadline.expires_at - self.deadline.margin
+            if self._deadline is None or budget_end < self._deadline:
+                self._deadline = budget_end
+                self._limit_reason = "deadline"
         try:
             try:
                 self.model.seed()
@@ -900,7 +915,7 @@ class BranchAndBound:
                 self._deadline is not None
                 and time.monotonic() > self._deadline
             ):
-                raise LimitReached("time limit")
+                raise LimitReached(self._limit_reason)
             if self.should_stop is not None and self.should_stop():
                 raise LimitReached("cancelled")
             # Sampled node events ride the existing poll cadence, so the

@@ -14,16 +14,19 @@ from .._compat import keyword_only
 from ..graphs.digraph import DiGraph
 from ..heuristics.greedy import heuristic_makespan
 from .bmp import (
+    DEGRADED,
     INFEASIBLE,
     OPTIMAL,
     UNKNOWN,
     OppSolver,
     OptimizationResult,
+    _mark_degraded,
     _ProbeRunner,
     probe_instance,
 )
 from .boxes import Box
 from .bounds import makespan_lower_bound
+from .deadline import Deadline
 from .opp import OPPResult, SolverOptions
 
 
@@ -39,6 +42,7 @@ def minimize_makespan(
     cache: Optional[object] = None,
     opp_solver: Optional[OppSolver] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
 ) -> OptimizationResult:
     """Solve MinT&FindS: minimal schedule length on a fixed chip.
@@ -51,11 +55,14 @@ def minimize_makespan(
     ``deadline_budget`` caps the *total* wall-clock across all probes;
     interrupted probes resume from their checkpoints, and when the budget
     runs out the result is ``"unknown"`` with honest brackets (see
-    :class:`repro.core.bmp._ProbeRunner`).  ``telemetry`` records the sweep
-    under a ``solve`` span (one ``probe`` child per OPP decision)."""
+    :class:`repro.core.bmp._ProbeRunner`).  ``deadline`` (a shared
+    :class:`repro.core.deadline.Deadline`) caps probing at the request's
+    end-to-end budget; tripping it with a SAT incumbent in hand yields a
+    ``"degraded"`` result instead.  ``telemetry`` records the sweep under
+    a ``solve`` span (one ``probe`` child per OPP decision)."""
     runner = _ProbeRunner(
         options=options, cache=cache, opp_solver=opp_solver,
-        budget=deadline_budget, telemetry=telemetry,
+        budget=deadline_budget, deadline=deadline, telemetry=telemetry,
     )
     telemetry = runner.telemetry
     with telemetry.span(
@@ -116,6 +123,14 @@ def _minimize_makespan(
             lo = mid + 1
         else:
             result.lower, result.upper = lo, hi
+            if (
+                _mark_degraded(result, runner, gap=hi - lo)
+                and best_placement is not None
+            ):
+                # Anytime answer: ``best_placement`` certifies makespan
+                # ``hi``; the optimum lies in [lower, upper].
+                result.status = DEGRADED
+                result.placement = best_placement
             return result
     if best_placement is None:
         # The optimum equals the heuristic upper bound (or low == upper from
@@ -124,6 +139,7 @@ def _minimize_makespan(
         if opp.status != "sat":
             # Bound/heuristic disagreement can only come from a solver limit.
             result.lower, result.upper = hi, None
+            _mark_degraded(result, runner)
             return result
         best_placement = opp.placement
     result.status = OPTIMAL

@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional
 from ..certify import certify_payload, check_subtree_claim, recheck_subtree
 from ..core.boxes import PackingInstance, Placement
 from ..core.bounds import prove_infeasible_named
+from ..core.deadline import DEADLINE_LIMIT, Deadline
 from ..core.edgestate import PropagationOptions
 from ..core.nogoods import LearningOptions
 from ..core.opp import SAT, UNKNOWN, UNSAT, SolverOptions
@@ -149,6 +150,12 @@ class DistributedOptions:
     fsync: bool = True
     respawn_budget: int = 4
     wall_timeout: Optional[float] = None
+    #: A shared :class:`repro.core.deadline.Deadline` for the request this
+    #: solve serves.  It bounds the run exactly like ``wall_timeout`` (but
+    #: against the request's end-to-end budget, reported as ``"deadline"``)
+    #: and clips lease durations so no worker holds a lease past the time
+    #: anyone still cares about the answer.
+    deadline: Optional[Deadline] = None
     solver: SolverOptions = field(default_factory=SolverOptions)
     chaos: Optional[DistributedFaultPlan] = None
 
@@ -464,9 +471,18 @@ class DistributedSolver:
         )
 
     def _make_queue(self, entries: List[TaskEntry]) -> LeaseQueue:
+        lease = self.options.lease_duration
+        if self.options.deadline is not None:
+            # No lease may outlive the request: a worker that dies holding
+            # one would otherwise pin its subtree past the point anyone
+            # still cares.  Floored so heartbeats stay shorter than leases.
+            budget = self.options.deadline.solver_budget()
+            lease = min(
+                lease, max(budget, self.options.heartbeat_interval * 2)
+            )
         return LeaseQueue(
             entries,
-            lease_duration=self.options.lease_duration,
+            lease_duration=lease,
             reissue_budget=self.options.reissue_budget,
             backoff_base=self.options.backoff_base,
             backoff_cap=self.options.backoff_cap,
@@ -665,8 +681,19 @@ class DistributedSolver:
         return self._finalize(start)
 
     def _deadline_exceeded(self, start: float) -> bool:
+        return self._time_exhausted(start) is not None
+
+    def _time_exhausted(self, start: float) -> Optional[str]:
+        """The limit reason when the run is out of time, else ``None`` —
+        ``"deadline"`` (the request's end-to-end budget) takes priority
+        over the run-local ``wall_timeout``."""
+        deadline = self.options.deadline
+        if deadline is not None and deadline.solver_budget() <= 0:
+            return DEADLINE_LIMIT
         timeout = self.options.wall_timeout
-        return timeout is not None and time.monotonic() - start > timeout
+        if timeout is not None and time.monotonic() - start > timeout:
+            return "wall-clock timeout"
+        return None
 
     def _run_inline(self, start: float) -> None:
         """Single-threaded backend: the whole lease/epoch/chaos protocol
@@ -677,9 +704,10 @@ class DistributedSolver:
         chaos = options.chaos if options.chaos is not None else None
         worker_id = "inline-0"
         while not queue.all_terminal():
-            if self._deadline_exceeded(start):
-                self._limit_reason = "wall-clock timeout"
-                queue.abandon_remaining("wall-clock timeout")
+            exhausted = self._time_exhausted(start)
+            if exhausted is not None:
+                self._limit_reason = exhausted
+                queue.abandon_remaining(exhausted)
                 break
             queue.expire()
             entry = queue.claim(worker_id)
@@ -819,9 +847,10 @@ class DistributedSolver:
 
         try:
             while not queue.all_terminal():
-                if self._deadline_exceeded(start):
-                    self._limit_reason = "wall-clock timeout"
-                    queue.abandon_remaining("wall-clock timeout")
+                exhausted = self._time_exhausted(start)
+                if exhausted is not None:
+                    self._limit_reason = exhausted
+                    queue.abandon_remaining(exhausted)
                     break
                 queue.expire()
                 # Reap dead workers: release their leases, respawn under

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..io.backoff import BackoffPolicy
 from ..io.journal import JournalWriter, read_journal
 from .subtree import SubtreeTask
 
@@ -119,6 +120,10 @@ class LeaseQueue:
         self.reissue_budget = reissue_budget
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        # The shared backoff vocabulary (repro.io.backoff).  The queue
+        # journals the *deterministic* delay — replay must reconstruct the
+        # exact schedule — so reissue gating uses ``delay``, never jitter.
+        self.backoff = BackoffPolicy(base=backoff_base, cap=backoff_cap)
         self.journal = journal
         self.clock = clock
         # Observability counters (mirrored into telemetry by the solver).
@@ -317,9 +322,7 @@ class LeaseQueue:
             return
         entry.reissues += 1
         entry.epoch += 1
-        backoff = min(
-            self.backoff_cap, self.backoff_base * (2 ** (entry.reissues - 1))
-        )
+        backoff = self.backoff.delay(entry.reissues)
         self._journal(
             "task-reissued",
             entry.task_id,

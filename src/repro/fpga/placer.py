@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from .._compat import keyword_only
-from ..core.bmp import OPTIMAL, OptimizationResult, minimize_base
+from ..core.bmp import DEGRADED, OPTIMAL, OptimizationResult, minimize_base
+from ..core.deadline import Deadline
 from ..core.fixed_schedule import (
     feasible_placement_fixed_schedule,
     minimize_base_fixed_schedule,
@@ -97,12 +98,15 @@ def minimize_chip(
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinA&FindS: the smallest square chip for the latency bound.
 
     ``deadline_budget`` caps the total wall-clock across all OPP probes of
-    the search (interrupted probes resume from checkpoints)."""
+    the search (interrupted probes resume from checkpoints); ``deadline``
+    is an end-to-end :class:`~repro.core.deadline.Deadline` — when it
+    trips mid-sweep the result degrades to the certified incumbent."""
     result = minimize_base(
         graph.boxes(),
         _dependency_dag(graph),
@@ -111,6 +115,7 @@ def minimize_chip(
         cache=cache,
         opp_solver=opp_solver,
         deadline_budget=deadline_budget,
+        deadline=deadline,
         telemetry=telemetry,
     )
     return _chip_outcome(graph, result)
@@ -125,6 +130,7 @@ def minimize_latency(
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
 ) -> ChipOptimizationOutcome:
     """MinT&FindS: the smallest latency on the given chip."""
@@ -136,6 +142,7 @@ def minimize_latency(
         cache=cache,
         opp_solver=opp_solver,
         deadline_budget=deadline_budget,
+        deadline=deadline,
         telemetry=telemetry,
     )
     outcome = ChipOptimizationOutcome(
@@ -213,11 +220,13 @@ def explore_tradeoffs(
     cache: Optional[object] = None,
     opp_solver: Optional[object] = None,
     deadline_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     telemetry: Optional[object] = None,
 ) -> ParetoFront:
     """The chip-size / latency Pareto front (Figure 7).
 
-    ``deadline_budget`` is shared by every probe of the whole sweep."""
+    ``deadline_budget`` is shared by every probe of the whole sweep;
+    ``deadline`` trips mid-sweep into an exact-prefix degraded front."""
     dag = _dependency_dag(graph) if with_dependencies else None
     return pareto_front(
         graph.boxes(),
@@ -227,6 +236,7 @@ def explore_tradeoffs(
         cache=cache,
         opp_solver=opp_solver,
         deadline_budget=deadline_budget,
+        deadline=deadline,
         telemetry=telemetry,
     )
 
@@ -243,4 +253,15 @@ def _chip_outcome(
             outcome.schedule = ReconfigurationSchedule.from_placement(
                 graph, outcome.chip, result.placement
             )
+    elif (
+        result.status == DEGRADED
+        and result.upper is not None
+        and result.placement is not None
+    ):
+        # Deadline tripped mid-sweep: surface the certified incumbent —
+        # a feasible chip at the proven upper bound, not the optimum.
+        outcome.chip = square_chip(result.upper)
+        outcome.schedule = ReconfigurationSchedule.from_placement(
+            graph, outcome.chip, result.placement
+        )
     return outcome

@@ -1,0 +1,78 @@
+"""One retry/backoff vocabulary for the whole runtime.
+
+Three subsystems grew their own exponential backoff — portfolio pool
+rebuilds, distributed lease reissue, and service re-admission (now the
+client's retry loop).  They all speak :class:`BackoffPolicy` now:
+
+* the **raw delay** is ``base * multiplier**(attempt-1)`` capped at
+  ``cap`` — deterministic, what journals record and tests pin;
+* the **jittered delay** draws uniformly from ``[0, raw]`` ("full
+  jitter", Amazon's variant): retries that were synchronized by a shared
+  failure (a broken pool, a 429 wave) decorrelate instead of stampeding
+  back in lockstep.
+
+Callers that must stay deterministic (the lease-queue journal, unit
+tests) use :meth:`delay`; callers that actually *sleep* use
+:meth:`jittered` / :meth:`sleep` — an unjittered sleep before a shared
+resource is exactly the thundering herd this module exists to prevent.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with a cap and full jitter.
+
+    ``attempt`` is 1-based everywhere: the first retry waits (up to)
+    ``base``, the second (up to) ``base * multiplier``, and so on.
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.cap < 0:
+            raise ValueError("backoff base and cap must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """The deterministic (unjittered) delay for ``attempt``."""
+        return min(
+            self.cap, self.base * self.multiplier ** max(0, attempt - 1)
+        )
+
+    def jittered(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """A full-jitter draw in ``[0, delay(attempt)]``."""
+        raw = self.delay(attempt)
+        if raw <= 0:
+            return 0.0
+        return (rng or random).uniform(0.0, raw)
+
+    def sleep(
+        self,
+        attempt: int,
+        *,
+        rng: Optional[random.Random] = None,
+        remaining: Optional[float] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> float:
+        """Sleep a jittered delay, clipped to ``remaining`` (a deadline
+        budget); returns the seconds actually slept."""
+        wait = self.jittered(attempt, rng)
+        if remaining is not None:
+            wait = max(0.0, min(wait, remaining))
+        if wait > 0:
+            sleeper(wait)
+        return wait

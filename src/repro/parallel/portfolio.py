@@ -47,7 +47,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .._compat import keyword_only
 from ..core.boxes import PackingInstance, Placement
+from ..core.deadline import DEADLINE_LIMIT, Deadline
 from ..core.opp import SAT, UNKNOWN, UNSAT, OPPResult, SolverOptions
+from ..io.backoff import BackoffPolicy
 from ..core.search import (
     BranchingOptions,
     FaultRecord,
@@ -137,8 +139,15 @@ class RetryPolicy:
         if min(self.backoff_base, self.backoff_cap, self.drain_grace) < 0:
             raise ValueError("backoff and grace periods must be non-negative")
 
+    def policy(self) -> BackoffPolicy:
+        """This policy's delays as the shared backoff vocabulary."""
+        return BackoffPolicy(base=self.backoff_base, cap=self.backoff_cap)
+
     def backoff(self, attempt: int) -> float:
-        return min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+        """The deterministic (unjittered) rebuild delay — what fault
+        records and tests pin.  The actual sleep before re-touching the
+        shared pool is *jittered* (see :meth:`BackoffPolicy.sleep`)."""
+        return self.policy().delay(attempt)
 
 
 @dataclass
@@ -291,6 +300,7 @@ class PortfolioSolver:
         instance: PackingInstance,
         *,
         time_limit: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
         resume_from: Optional[SearchCheckpoint] = None,
         should_stop: Optional[Callable[[], bool]] = None,
     ) -> PortfolioResult:
@@ -300,8 +310,12 @@ class PortfolioSolver:
 
         ``time_limit`` (seconds) bounds every entrant that has no tighter
         limit of its own; when all entrants come back inconclusive the
-        result is ``"unknown"``.  ``resume_from`` hands an interrupted
-        entrant its checkpoint so it continues instead of restarting.
+        result is ``"unknown"``.  ``deadline`` (a shared
+        :class:`repro.core.deadline.Deadline`) clips every entrant to the
+        request's remaining end-to-end budget; an exhausted deadline
+        returns immediately with ``stats.limit == "deadline"``.
+        ``resume_from`` hands an interrupted entrant its checkpoint so it
+        continues instead of restarting.
 
         ``should_stop`` is a cooperative external cancellation hook (batch
         watchdogs, SIGINT): polled between entrants on the serial backend,
@@ -349,6 +363,17 @@ class PortfolioSolver:
             result.stats.limit = "cancelled"
             result.elapsed = time.monotonic() - start
             return finish(result)
+
+        if deadline is not None:
+            # One shared remaining-time source: the race (all entrants and
+            # any rebuild/degrade detours) fits in the solver budget.
+            budget = deadline.solver_budget()
+            if budget <= 0:
+                result = PortfolioResult(status=UNKNOWN, backend=self.backend)
+                result.stats.limit = DEADLINE_LIMIT
+                result.elapsed = time.monotonic() - start
+                return finish(result)
+            time_limit = budget if time_limit is None else min(time_limit, budget)
 
         configs = self.configs
         if time_limit is not None:
@@ -403,6 +428,14 @@ class PortfolioSolver:
             and should_stop()
         ):
             result.stats.limit = "cancelled"
+        if (
+            result.status == UNKNOWN
+            and deadline is not None
+            and deadline.solver_budget() <= 0
+        ):
+            # The end-to-end deadline — not a per-entrant cap — is what
+            # stopped the race; report it so callers degrade, not retry.
+            result.stats.limit = DEADLINE_LIMIT
         if self.cache is not None and result.status in (SAT, UNSAT):
             self.cache.put(instance, result.to_opp_result())
         return finish(result)
@@ -631,7 +664,9 @@ class PortfolioSolver:
                 self.close()
                 if rebuilds > self.retry.pool_rebuilds:
                     return list(completed.values()), todo + spill
-                time.sleep(self.retry.backoff(rebuilds))
+                # Jittered: concurrent solves whose pools broke together
+                # must not stampede the OS process table back in lockstep.
+                self.retry.policy().sleep(rebuilds)
                 continue
 
             harvest = self._harvest(
@@ -696,7 +731,7 @@ class PortfolioSolver:
             if todo:
                 if rebuilds > self.retry.pool_rebuilds:
                     return list(completed.values()), todo + spill
-                time.sleep(self.retry.backoff(rebuilds))
+                self.retry.policy().sleep(rebuilds)
         return list(completed.values()), spill
 
     def _record_entrant_faults(
@@ -826,6 +861,7 @@ def solve_opp_portfolio(
     cache: Optional[ResultCache] = None,
     backend: str = "auto",
     time_limit: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
     retry: Optional[RetryPolicy] = None,
     resume_from: Optional[SearchCheckpoint] = None,
     should_stop: Optional[Callable[[], bool]] = None,
@@ -841,6 +877,7 @@ def solve_opp_portfolio(
         return solver.solve(
             instance,
             time_limit=time_limit,
+            deadline=deadline,
             resume_from=resume_from,
             should_stop=should_stop,
         )

@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..core.deadline import Deadline
+
 #: Default seconds between memory probes (wall-clock checks are not
 #: throttled); override per watchdog with ``poll_interval=`` or globally
 #: with the ``REPRO_WATCHDOG_POLL`` environment variable.
@@ -39,6 +41,7 @@ POLL_ENV_VAR = "REPRO_WATCHDOG_POLL"
 
 TIME_TRIPPED = "wall-clock limit exceeded"
 MEMORY_TRIPPED = "memory limit exceeded"
+DEADLINE_TRIPPED = "end-to-end deadline exhausted"
 
 
 def default_poll_interval() -> float:
@@ -118,12 +121,18 @@ class Watchdog:
         clock: Callable[[], float] = time.monotonic,
         memory_probe: Callable[[], Optional[int]] = current_rss_bytes,
         poll_interval: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if poll_interval is not None and poll_interval <= 0:
             raise ValueError(
                 f"poll_interval must be positive, got {poll_interval}"
             )
         self.limits = limits
+        #: A shared :class:`repro.core.deadline.Deadline`: the watchdog
+        #: folds the request's end-to-end budget into the same sticky trip
+        #: mechanism as its per-instance limits (terminal kind
+        #: ``"deadline"``), so one ``should_stop`` hook enforces both.
+        self.deadline = deadline
         self._clock = clock
         self._memory_probe = memory_probe
         self.poll_interval = (
@@ -135,16 +144,33 @@ class Watchdog:
         self._next_probe = self.started
 
     def remaining(self) -> Optional[float]:
-        """Seconds left on the wall-clock budget (``None`` = unlimited)."""
-        if self.limits.time_limit is None:
-            return None
-        return max(0.0, self.limits.time_limit - (self._clock() - self.started))
+        """Seconds left on the tightest wall-clock budget: the per-instance
+        time limit, the end-to-end deadline's solver budget, or the minimum
+        of both (``None`` = unlimited)."""
+        left: Optional[float] = None
+        if self.limits.time_limit is not None:
+            left = max(
+                0.0,
+                self.limits.time_limit - (self._clock() - self.started),
+            )
+        if self.deadline is not None:
+            budget = self.deadline.solver_budget()
+            left = budget if left is None else min(left, budget)
+        return left
 
     def check(self) -> Optional[str]:
         """Evaluate the limits; returns (and latches) the terminal kind."""
         if self.tripped is not None:
             return self.tripped
         now = self._clock()
+        if self.deadline is not None and self.deadline.solver_budget() <= 0:
+            self.tripped = "deadline"
+            self.detail = (
+                f"{DEADLINE_TRIPPED}: "
+                f"{self.deadline.remaining() * 1000:.0f} ms remaining "
+                f"< {self.deadline.margin * 1000:.0f} ms margin"
+            )
+            return self.tripped
         if (
             self.limits.time_limit is not None
             and now - self.started > self.limits.time_limit

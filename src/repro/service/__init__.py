@@ -24,6 +24,7 @@ or from the shell: ``repro-fpga serve --dir state --port 8765``.
 
 from .admission import AdmissionController, AdmissionError, TenantBudget, Ticket
 from .app import ServiceConfig, SolverService, run_service
+from .chaosproxy import ChaosProxy, Fault
 from .jobs import (
     JOB_RECORD_KINDS,
     JOB_TERMINAL_KINDS,
@@ -46,6 +47,8 @@ __all__ = [
     "AdmissionError",
     "BatchRequest",
     "CertifyRequest",
+    "ChaosProxy",
+    "Fault",
     "JOB_RECORD_KINDS",
     "JOB_TERMINAL_KINDS",
     "Job",

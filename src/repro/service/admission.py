@@ -29,6 +29,17 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Optional, Tuple
 
+from ..core.deadline import Deadline
+
+#: Smoothing factor of the exponentially-weighted mean job duration used
+#: to predict queue wait for deadline-aware admission.  0.2 ≈ the last
+#: ~10 completions dominate, so the estimate tracks load shifts quickly
+#: without flapping on a single outlier.
+EWMA_ALPHA = 0.2
+
+#: Seed for the duration estimate before any job has completed (seconds).
+DEFAULT_JOB_SECONDS = 1.0
+
 
 class AdmissionError(Exception):
     """A rejected submission (the HTTP layer renders it as a 429/503)."""
@@ -102,6 +113,7 @@ class AdmissionStats:
     admitted: int = 0
     rejected_capacity: int = 0
     rejected_budget: int = 0
+    rejected_deadline: int = 0
     completed: int = 0
     peak_in_flight: int = 0
     peak_running: int = 0
@@ -141,6 +153,9 @@ class AdmissionController:
         self._waiters: Deque[Tuple[Ticket, "asyncio.Future", Any]] = deque()
         self.tenants: Dict[str, TenantBudget] = {}
         self.stats = AdmissionStats()
+        # EWMA of observed job durations; seeds the queue-wait prediction
+        # behind deadline-aware admission before real data arrives.
+        self.mean_job_seconds = DEFAULT_JOB_SECONDS
 
     # -- budgets -----------------------------------------------------------
 
@@ -159,12 +174,38 @@ class AdmissionController:
 
     # -- admission ---------------------------------------------------------
 
-    def admit(self, tenant: str, force: bool = False) -> Ticket:
+    def predicted_wait(self) -> float:
+        """Predicted seconds until a job admitted *now* gets a run slot:
+        the jobs ahead of it, pipelined over ``concurrency`` runners, each
+        taking the EWMA mean duration.  Zero when a slot is free."""
+        with self._lock:
+            return self._predicted_wait_locked()
+
+    def _predicted_wait_locked(self) -> float:
+        if self.running < self.concurrency and not self._waiters:
+            return 0.0
+        position = len(self._waiters) + 1  # where a new ticket would queue
+        waves = -(-position // self.concurrency)  # ceil: drain batches
+        return waves * self.mean_job_seconds
+
+    def admit(
+        self,
+        tenant: str,
+        force: bool = False,
+        deadline: Optional[Deadline] = None,
+    ) -> Ticket:
         """Claim a queue slot for ``tenant`` or raise :class:`AdmissionError`.
 
         ``force`` bypasses the capacity and budget gates (used when a
         resumed daemon re-enqueues jobs it already accepted before the
-        crash — admission is durable, so they must not bounce)."""
+        crash — admission is durable, so they must not bounce).
+
+        ``deadline`` enables deadline-aware admission: a request whose
+        predicted queue wait already exceeds its remaining solver budget
+        is refused *up front* (code ``deadline-unmeetable``) with a
+        ``Retry-After`` computed from the predicted drain time — honest
+        early rejection instead of admitting work that is doomed to burn
+        a slot and miss anyway."""
         with self._lock:
             budget = self._budget_locked(tenant)
             if not force:
@@ -184,6 +225,20 @@ class AdmissionController:
                         f"(capacity {self.capacity})",
                         retry_after=1.0,
                     )
+                if deadline is not None:
+                    wait = self._predicted_wait_locked()
+                    remaining = deadline.solver_budget()
+                    if remaining <= 0 or wait > remaining:
+                        self.stats.rejected_deadline += 1
+                        raise AdmissionError(
+                            "deadline-unmeetable",
+                            f"predicted queue wait {wait:.2f}s exceeds the "
+                            f"request's remaining budget "
+                            f"{max(0.0, remaining):.2f}s",
+                            retry_after=round(
+                                max(self.mean_job_seconds, wait), 3
+                            ),
+                        )
             self._seq += 1
             self.in_flight += 1
             self.stats.admitted += 1
@@ -227,6 +282,13 @@ class AdmissionController:
             self.stats.completed += 1
             if ticket.started_at is not None:
                 self.running -= 1
+                # Update the duration EWMA on *started* jobs only — a job
+                # rejected or cancelled while queued says nothing about
+                # how long compute takes.
+                observed = max(0.0, float(seconds))
+                self.mean_job_seconds += EWMA_ALPHA * (
+                    observed - self.mean_job_seconds
+                )
             while self._waiters:
                 candidate = self._waiters.popleft()
                 if candidate[1].cancelled() or candidate[0].released:
@@ -253,6 +315,9 @@ class AdmissionController:
                 "completed": self.stats.completed,
                 "rejected_capacity": self.stats.rejected_capacity,
                 "rejected_budget": self.stats.rejected_budget,
+                "rejected_deadline": self.stats.rejected_deadline,
+                "mean_job_seconds": round(self.mean_job_seconds, 6),
+                "predicted_wait": round(self._predicted_wait_locked(), 6),
                 "peak_in_flight": self.stats.peak_in_flight,
                 "peak_running": self.stats.peak_running,
                 "tenants": {

@@ -52,8 +52,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..certify import certify_payload
+from ..core.deadline import DEADLINE_LIMIT, DEFAULT_MARGIN, Deadline
 from ..core.nogoods import LearningOptions
-from ..core.opp import SolverOptions, solve_opp
+from ..core.opp import UNKNOWN, OPPResult, SolverOptions, solve_opp
 from ..io.journal import JOURNAL_NAME, read_journal
 from ..parallel.cache import ResultCache
 from ..runtime.batch import BatchRunner
@@ -73,13 +74,30 @@ from .protocol import (
 #: Largest request body the daemon will read (structured 413 beyond).
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
-#: Per-connection header/body read deadline.
+#: Largest header section the daemon will read.  A slow-loris client can
+#: otherwise drip one header line per read-timeout forever.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Per-connection read deadline — for the *whole* request head (request
+#: line plus every header), not per line, and again for the body.
 READ_TIMEOUT = 30.0
+
+#: Load thresholds (in-flight / capacity) of the brownout ladder:
+#: below the first — full service; then learning off; then clipped solve
+#: budget; then incumbent-only (bounds + heuristics + token search).
+BROWNOUT_LADDER = (0.5, 0.75, 0.9)
+
+#: The clipped per-solve budget at brownout level 2 (seconds).
+BROWNOUT_TIME_LIMIT = 0.5
+
+#: The token search budget at brownout level 3 (nodes).
+BROWNOUT_NODE_LIMIT = 20_000
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
     413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
 
@@ -118,6 +136,12 @@ class ServiceConfig:
     checkpoint_interval: float = 1.0  # batch-job durable checkpoint cadence
     fsync: bool = True
     resume: bool = False
+    read_timeout: float = READ_TIMEOUT  # whole-head / body read deadline
+    max_header_bytes: int = MAX_HEADER_BYTES
+    #: Safety margin (seconds) the daemon reserves out of every request
+    #: deadline for response serialization and transport — the server owns
+    #: this slice of the budget; solvers never see it.
+    deadline_margin: float = DEFAULT_MARGIN
 
 
 class SolverService:
@@ -254,14 +278,42 @@ class SolverService:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Tuple[str, str, bytes]:
-        try:
-            request_line = await asyncio.wait_for(
-                reader.readline(), timeout=READ_TIMEOUT
-            )
-        except asyncio.TimeoutError:
-            raise _HttpError(
-                408, error_body("timeout", 408, "request line never arrived")
-            )
+        # One deadline for the whole request head.  A per-readline timeout
+        # would let a slow-loris client drip one header byte per interval
+        # and pin a reader task forever; here the *total* head read — and
+        # separately the body read — must land inside ``read_timeout``.
+        loop = asyncio.get_running_loop()
+        head_deadline = loop.time() + self.config.read_timeout
+        head_bytes = 0
+
+        async def read_line(what: str) -> bytes:
+            nonlocal head_bytes
+            remaining = head_deadline - loop.time()
+            if remaining <= 0:
+                raise _HttpError(
+                    408, error_body("timeout", 408, f"{what} never arrived")
+                )
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                raise _HttpError(
+                    408, error_body("timeout", 408, f"{what} never arrived")
+                )
+            head_bytes += len(line)
+            if head_bytes > self.config.max_header_bytes:
+                raise _HttpError(
+                    431,
+                    error_body(
+                        "headers-too-large", 431,
+                        f"request head exceeds "
+                        f"{self.config.max_header_bytes} bytes",
+                    ),
+                )
+            return line
+
+        request_line = await read_line("request line")
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
             raise _HttpError(
@@ -271,9 +323,7 @@ class SolverService:
         method, target, _version = parts
         headers: Dict[str, str] = {}
         while True:
-            line = await asyncio.wait_for(
-                reader.readline(), timeout=READ_TIMEOUT
-            )
+            line = await read_line("header")
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
@@ -296,7 +346,8 @@ class SolverService:
         if length:
             try:
                 body = await asyncio.wait_for(
-                    reader.readexactly(length), timeout=READ_TIMEOUT
+                    reader.readexactly(length),
+                    timeout=self.config.read_timeout,
                 )
             except (asyncio.IncompleteReadError, asyncio.TimeoutError):
                 raise _HttpError(
@@ -358,6 +409,29 @@ class SolverService:
         if path == "/v1/status" and method == "GET":
             await self._send(writer, 200, self._status_body())
             return
+        if path == "/v1/health" and method == "GET":
+            # Liveness: the loop is serving.  Always 200 while alive.
+            await self._send(
+                writer,
+                200,
+                {"status": "ok", "uptime": time.time() - self.started},
+            )
+            return
+        if path == "/v1/ready" and method == "GET":
+            # Readiness: would a submission be admitted right now?
+            snapshot = self.admission.snapshot()
+            ready = (
+                not self._stopping.is_set()
+                and snapshot["in_flight"] < snapshot["capacity"]
+            )
+            body = {
+                "ready": ready,
+                "in_flight": snapshot["in_flight"],
+                "capacity": snapshot["capacity"],
+                "brownout": self._brownout_level(),
+            }
+            await self._send(writer, 200 if ready else 503, body)
+            return
         if path.startswith("/v1/status/") and method == "GET":
             job = self._job_or_404(path[len("/v1/status/"):])
             await self._send(writer, 200, job.snapshot())
@@ -395,7 +469,18 @@ class SolverService:
             "batch": BatchRequest,
             "certify": CertifyRequest,
         }[kind].from_dict(data)
-        ticket = self.admission.admit(request.tenant)
+        deadline: Optional[Deadline] = None
+        if request.deadline_ms is not None:
+            # Re-anchor the wire budget on this host's monotonic clock the
+            # moment the request is understood; network transit already
+            # ate its share of the margin.
+            deadline = Deadline.from_wire(
+                request.deadline_ms, margin=self.config.deadline_margin
+            )
+            self.telemetry.histogram("deadline.remaining_ms.admission").observe(
+                deadline.to_wire()
+            )
+        ticket = self.admission.admit(request.tenant, deadline=deadline)
         try:
             job = self.jobs.submit(kind, request.tenant, request.to_dict())
         except Exception:
@@ -404,7 +489,7 @@ class SolverService:
         self.jobs.publish(
             job, {"event": "queued", "job": job.job_id, "kind": kind}
         )
-        runner = self._run_job(job, ticket)
+        runner = self._run_job(job, ticket, deadline)
         if request.wait:
             await runner
             await self._send(writer, 200, job.snapshot())
@@ -416,18 +501,28 @@ class SolverService:
                 {"job": job.job_id, "state": job.state, "kind": kind},
             )
 
-    async def _run_job(self, job: Job, ticket: Any) -> None:
+    async def _run_job(
+        self, job: Job, ticket: Any, deadline: Optional[Deadline] = None
+    ) -> None:
         loop = asyncio.get_running_loop()
         started = time.monotonic()
         nodes = 0
         try:
             await self.admission.acquire(ticket)
             started = time.monotonic()
+            if deadline is not None:
+                self.telemetry.histogram(
+                    "deadline.remaining_ms.start"
+                ).observe(deadline.to_wire())
             self.jobs.mark_running(job)
             self.jobs.publish(job, {"event": "running", "job": job.job_id})
             response, nodes = await loop.run_in_executor(
-                self.executor, self._execute, job
+                self.executor, self._execute, job, deadline
             )
+            if deadline is not None:
+                self.telemetry.histogram(
+                    "deadline.remaining_ms.finish"
+                ).observe(deadline.to_wire())
             self.jobs.finish(job, response)
         except (_JobInterrupted, asyncio.CancelledError):
             # No terminal record: the journal's last word on this job stays
@@ -445,29 +540,54 @@ class SolverService:
 
     # -- execution (runs on executor threads) ------------------------------
 
-    def _execute(self, job: Job) -> Tuple[Dict[str, Any], int]:
+    def _execute(
+        self, job: Job, deadline: Optional[Deadline] = None
+    ) -> Tuple[Dict[str, Any], int]:
         if job.kind == "solve":
-            return self._execute_solve(job)
+            return self._execute_solve(job, deadline)
         if job.kind == "batch":
-            return self._execute_batch(job)
+            return self._execute_batch(job, deadline)
         if job.kind == "certify":
             return self._execute_certify(job)
         raise ValueError(f"unknown job kind {job.kind!r}")
 
+    def _brownout_level(self) -> int:
+        """Current rung of the degradation ladder (0 = full service).
+
+        Load is admitted-but-unfinished jobs over capacity; each
+        :data:`BROWNOUT_LADDER` threshold the load clears sheds one more
+        quality knob — learning, then solve budget, then search depth —
+        so an overloaded daemon answers faster-but-weaker instead of
+        queueing toward deadline misses."""
+        load = self.admission.in_flight / self.admission.capacity
+        return sum(1 for threshold in BROWNOUT_LADDER if load >= threshold)
+
     def _solver_options(
         self, kernel: Optional[str], learning: bool,
         time_limit: Optional[float],
+        deadline: Optional[Deadline] = None,
     ) -> SolverOptions:
         limits = [
             l for l in (time_limit, self.config.time_limit) if l is not None
         ]
+        level = self._brownout_level()
+        if level >= 1:
+            learning = False
+        if level >= 2:
+            limits.append(BROWNOUT_TIME_LIMIT)
+        if level >= 1:
+            self.telemetry.counter(f"service.brownout.level{level}").add()
         return SolverOptions(
             kernel=kernel or "bitmask",
             learning=LearningOptions(enabled=learning),
             time_limit=min(limits) if limits else None,
+            node_limit=BROWNOUT_NODE_LIMIT if level >= 3 else None,
+            deadline=deadline,
         )
 
-    def _execute_solve(self, job: Job) -> Tuple[Dict[str, Any], int]:
+    def _execute_solve(
+        self, job: Job, deadline: Optional[Deadline] = None
+    ) -> Tuple[Dict[str, Any], int]:
         request = SolveRequest.from_dict(job.request)
         key = self.cache.key(request.instance)
         while True:
@@ -490,18 +610,33 @@ class SolverService:
             while not leader.wait(timeout=0.02):
                 if self._stop_threads.is_set():
                     raise _JobInterrupted(job.job_id)
+                if deadline is not None and deadline.solver_budget() <= 0:
+                    # Waiting out the leader would blow the budget; answer
+                    # now with an honest degraded "unknown".
+                    return self._degraded_response(), 0
             # Leader finished (or was interrupted / got an uncacheable
             # answer): re-check the memo, solving ourselves if it's empty.
         try:
-            return self._solve_as_leader(job, request)
+            return self._solve_as_leader(job, request, deadline)
         finally:
             with self._inflight_lock:
                 event = self._inflight.pop(key, None)
             if event is not None:
                 event.set()
 
+    def _degraded_response(self) -> Dict[str, Any]:
+        """The honest answer when the deadline expired before any search
+        could run: status ``unknown`` with an explicit degradation marker."""
+        result = OPPResult(status=UNKNOWN, stage=DEADLINE_LIMIT)
+        result.stats.limit = DEADLINE_LIMIT
+        response = solve_response(result, cache_hit=False)
+        response["degraded"] = {"reason": DEADLINE_LIMIT, "gap": None}
+        self.telemetry.counter("service.degraded_total.deadline").add()
+        return response
+
     def _solve_as_leader(
-        self, job: Job, request: SolveRequest
+        self, job: Job, request: SolveRequest,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Dict[str, Any], int]:
         job_telemetry = Telemetry()
         job_telemetry.add_listener(
@@ -513,7 +648,8 @@ class SolverService:
             result = solve_opp(
                 request.instance,
                 options=self._solver_options(
-                    request.kernel, request.learning, request.time_limit
+                    request.kernel, request.learning, request.time_limit,
+                    deadline,
                 ),
                 should_stop=self._stop_threads.is_set,
                 telemetry=job_telemetry,
@@ -529,9 +665,17 @@ class SolverService:
                 {"event": "span", "name": span.name,
                  "seconds": span.seconds, "attrs": dict(span.attrs)},
             )
-        return solve_response(result, cache_hit=False), result.stats.nodes
+        response = solve_response(result, cache_hit=False)
+        if result.status == UNKNOWN and result.stats.limit == DEADLINE_LIMIT:
+            # The end-to-end deadline — not a tuning limit — stopped this
+            # solve; say so explicitly instead of a bare "unknown".
+            response["degraded"] = {"reason": DEADLINE_LIMIT, "gap": None}
+            self.telemetry.counter("service.degraded_total.deadline").add()
+        return response, result.stats.nodes
 
-    def _execute_batch(self, job: Job) -> Tuple[Dict[str, Any], int]:
+    def _execute_batch(
+        self, job: Job, deadline: Optional[Deadline] = None
+    ) -> Tuple[Dict[str, Any], int]:
         request = BatchRequest.from_dict(job.request)
         out_dir = os.path.join(self.config.state_dir, "jobs", job.job_id)
 
@@ -546,7 +690,7 @@ class SolverService:
         runner = BatchRunner(
             out_dir,
             options=self._solver_options(
-                request.kernel, request.learning, None
+                request.kernel, request.learning, None, deadline
             ),
             cache=self.cache,
             checkpoint_interval=self.config.checkpoint_interval,
@@ -636,6 +780,7 @@ class SolverService:
                 "state_dir": self.config.state_dir,
                 "resumed": self.config.resume,
                 "stopping": self._stopping.is_set(),
+                "brownout": self._brownout_level(),
             },
             "jobs": self.jobs.counts(),
             "admission": self.admission.snapshot(),

@@ -1,0 +1,290 @@
+"""A fault-injecting TCP proxy for network-chaos testing.
+
+The resilience suite needs a network that misbehaves *on demand and
+deterministically*: the proxy sits between a client and the daemon and
+applies a scripted :class:`Fault` to each accepted connection, cycling
+through its plan in order.  No randomness — the n-th connection always
+gets the n-th fault (mod plan length), so a failing test replays exactly.
+
+Fault modes:
+
+``pass``
+    relay faithfully (the control arm).
+``delay``
+    hold the connection ``delay`` seconds before relaying anything —
+    the client's connect succeeds instantly, then the request stalls.
+``drop``
+    a black hole: accept, read, never answer; the socket stays open for
+    ``hold`` seconds, then closes without a byte.  Exercises client read
+    timeouts.
+``reset``
+    close with ``SO_LINGER 0`` immediately — the client sees a TCP RST
+    (``ConnectionResetError``) instead of a FIN.
+``truncate``
+    relay the request, then forward only the first ``limit`` bytes of
+    the response and cut the connection — a half-delivered answer.
+``garbage``
+    answer the request with non-HTTP bytes.
+``slow``
+    slow-loris the *response*: relay the request at full speed, then
+    drip the answer back ``chunk_size`` bytes every ``chunk_delay``
+    seconds.
+
+The proxy is thread-based (one accept loop, two pump threads per relayed
+connection) and binds port 0; ``stop()`` closes the listener and every
+tracked socket so tests never leak.  ``served`` records the mode applied
+to each connection, in order, for assertions.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+PASS = "pass"
+DELAY = "delay"
+DROP = "drop"
+RESET = "reset"
+TRUNCATE = "truncate"
+GARBAGE = "garbage"
+SLOW = "slow"
+
+MODES = (PASS, DELAY, DROP, RESET, TRUNCATE, GARBAGE, SLOW)
+
+_GARBAGE_BYTES = b"\x00\xff\xfe not-http \x07" * 16
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted misbehavior; parameters beyond the mode's are ignored."""
+
+    mode: str = PASS
+    delay: float = 0.5  # DELAY: stall before relaying
+    hold: float = 2.0  # DROP: how long the black hole stays open
+    limit: int = 64  # TRUNCATE: response bytes delivered before the cut
+    chunk_size: int = 8  # SLOW: bytes per drip
+    chunk_delay: float = 0.2  # SLOW: seconds between drips
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+
+class ChaosProxy:
+    """A deterministic fault-injecting relay in front of ``upstream_port``.
+
+    Context manager: entering starts the accept loop (``self.port`` holds
+    the bound port), exiting stops it and closes every tracked socket.
+    """
+
+    def __init__(
+        self,
+        upstream_port: int,
+        plan: Optional[Sequence[Fault]] = None,
+        upstream_host: str = "127.0.0.1",
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self.plan: List[Fault] = list(plan) if plan else [Fault(PASS)]
+        self.port: Optional[int] = None
+        self.served: List[str] = []  # mode per accepted connection, in order
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._sockets: List[socket.socket] = []
+        self._index = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        self._listener = socket.create_server((self.host, 0))
+        self._listener.settimeout(0.1)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            sockets, self._sockets = self._sockets, []
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- accept / dispatch -------------------------------------------------
+
+    def _track(self, sock: socket.socket) -> socket.socket:
+        with self._lock:
+            self._sockets.append(sock)
+        return sock
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            fault = self.plan[self._index % len(self.plan)]
+            self._index += 1
+            self.served.append(fault.mode)
+            self._track(conn)
+            threading.Thread(
+                target=self._handle, args=(conn, fault), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket, fault: Fault) -> None:
+        try:
+            if fault.mode == RESET:
+                # SO_LINGER with a zero timeout turns close() into a RST.
+                conn.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                conn.close()
+                return
+            if fault.mode == DROP:
+                self._black_hole(conn, fault.hold)
+                return
+            if fault.mode == GARBAGE:
+                conn.settimeout(1.0)
+                try:
+                    conn.recv(65536)
+                except (socket.timeout, OSError):
+                    pass
+                try:
+                    conn.sendall(_GARBAGE_BYTES)
+                finally:
+                    conn.close()
+                return
+            if fault.mode == DELAY:
+                self._stop.wait(fault.delay)
+                if self._stop.is_set():
+                    conn.close()
+                    return
+            self._relay(conn, fault)
+        except OSError:
+            pass
+
+    def _black_hole(self, conn: socket.socket, hold: float) -> None:
+        conn.settimeout(0.05)
+        end = time.monotonic() + hold
+        try:
+            while time.monotonic() < end and not self._stop.is_set():
+                try:
+                    if not conn.recv(65536):
+                        break
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- relaying ----------------------------------------------------------
+
+    def _relay(self, conn: socket.socket, fault: Fault) -> None:
+        try:
+            upstream = self._track(
+                socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=5.0
+                )
+            )
+        except OSError:
+            conn.close()
+            return
+        limit = fault.limit if fault.mode == TRUNCATE else None
+        chunk_size = fault.chunk_size if fault.mode == SLOW else 65536
+        chunk_delay = fault.chunk_delay if fault.mode == SLOW else 0.0
+        up = threading.Thread(
+            target=self._pump, args=(conn, upstream), daemon=True
+        )
+        up.start()
+        # Response direction (upstream -> client) carries the fault shaping.
+        self._pump(
+            upstream,
+            conn,
+            limit=limit,
+            chunk_size=chunk_size,
+            chunk_delay=chunk_delay,
+        )
+        for sock in (conn, upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        limit: Optional[int] = None,
+        chunk_size: int = 65536,
+        chunk_delay: float = 0.0,
+    ) -> None:
+        sent = 0
+        src.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                data = src.recv(chunk_size)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            if limit is not None and sent + len(data) >= limit:
+                try:
+                    dst.sendall(data[: limit - sent])
+                except OSError:
+                    pass
+                # Cut hard: the client must see a broken response, not
+                # a clean FIN it could mistake for end-of-body.
+                for sock in (dst, src):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                return
+            try:
+                dst.sendall(data)
+            except OSError:
+                break
+            sent += len(data)
+            if chunk_delay and self._stop.wait(chunk_delay):
+                break
+        try:
+            dst.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass

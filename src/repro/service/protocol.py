@@ -125,6 +125,27 @@ def _time_limit(data: Dict[str, Any], errors: _Errors) -> Optional[float]:
     return value
 
 
+def _deadline_ms(data: Dict[str, Any], errors: _Errors) -> Optional[int]:
+    """The wire deadline: remaining whole milliseconds at send time.
+
+    Relative on the wire because monotonic clocks do not cross hosts; the
+    daemon re-anchors it via :meth:`repro.core.deadline.Deadline.from_wire`
+    the moment the request is parsed (network latency eats the margin).
+    """
+    value = data.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        errors.add(
+            "deadline_ms", f"must be an integer, got {type(value).__name__}"
+        )
+        return None
+    if value <= 0:
+        errors.add("deadline_ms", f"must be positive, got {value}")
+        return None
+    return value
+
+
 def _kind(data: Dict[str, Any], expected: str, errors: _Errors) -> None:
     kind = data.get("kind", expected)
     if kind != expected:
@@ -140,6 +161,7 @@ class SolveRequest:
     kernel: Optional[str] = None
     learning: bool = False
     time_limit: Optional[float] = None
+    deadline_ms: Optional[int] = None
     wait: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
@@ -150,6 +172,7 @@ class SolveRequest:
             "kernel": self.kernel,
             "learning": self.learning,
             "time_limit": self.time_limit,
+            "deadline_ms": self.deadline_ms,
             "wait": self.wait,
         }
 
@@ -160,7 +183,7 @@ class SolveRequest:
         _check_fields(
             data,
             ("kind", "tenant", "instance", "kernel", "learning",
-             "time_limit", "wait"),
+             "time_limit", "deadline_ms", "wait"),
             errors,
         )
         _kind(data, "solve", errors)
@@ -186,6 +209,7 @@ class SolveRequest:
                 kernel = None
         learning = _bool(data, "learning", False, errors)
         time_limit = _time_limit(data, errors)
+        deadline_ms = _deadline_ms(data, errors)
         wait = _bool(data, "wait", True, errors)
         errors.raise_if_any()
         return cls(
@@ -194,6 +218,7 @@ class SolveRequest:
             kernel=kernel,
             learning=learning,
             time_limit=time_limit,
+            deadline_ms=deadline_ms,
             wait=wait,
         )
 
@@ -216,6 +241,7 @@ class BatchRequest:
     tenant: str = DEFAULT_TENANT
     kernel: Optional[str] = None
     learning: bool = False
+    deadline_ms: Optional[int] = None
     wait: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
@@ -225,6 +251,7 @@ class BatchRequest:
             "entries": [e.to_dict() for e in self.entries],
             "kernel": self.kernel,
             "learning": self.learning,
+            "deadline_ms": self.deadline_ms,
             "wait": self.wait,
         }
 
@@ -233,7 +260,8 @@ class BatchRequest:
         data = _require_mapping(data)
         errors = _Errors()
         _check_fields(
-            data, ("kind", "tenant", "entries", "kernel", "learning", "wait"),
+            data, ("kind", "tenant", "entries", "kernel", "learning",
+                   "deadline_ms", "wait"),
             errors,
         )
         _kind(data, "batch", errors)
@@ -272,6 +300,7 @@ class BatchRequest:
                 )
                 kernel = None
         learning = _bool(data, "learning", False, errors)
+        deadline_ms = _deadline_ms(data, errors)
         wait = _bool(data, "wait", False, errors)
         errors.raise_if_any()
         return cls(
@@ -279,6 +308,7 @@ class BatchRequest:
             tenant=tenant,
             kernel=kernel,
             learning=learning,
+            deadline_ms=deadline_ms,
             wait=wait,
         )
 
@@ -302,6 +332,7 @@ class CertifyRequest:
 
     certificate: Dict[str, Any] = field(default_factory=dict)
     tenant: str = DEFAULT_TENANT
+    deadline_ms: Optional[int] = None
     wait: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
@@ -309,6 +340,7 @@ class CertifyRequest:
             "kind": "certify",
             "tenant": self.tenant,
             "certificate": self.certificate,
+            "deadline_ms": self.deadline_ms,
             "wait": self.wait,
         }
 
@@ -316,7 +348,10 @@ class CertifyRequest:
     def from_dict(cls, data: Any) -> "CertifyRequest":
         data = _require_mapping(data)
         errors = _Errors()
-        _check_fields(data, ("kind", "tenant", "certificate", "wait"), errors)
+        _check_fields(
+            data, ("kind", "tenant", "certificate", "deadline_ms", "wait"),
+            errors,
+        )
         _kind(data, "certify", errors)
         tenant = _tenant(data, errors)
         certificate = data.get("certificate")
@@ -325,9 +360,15 @@ class CertifyRequest:
             certificate = {}
         elif not isinstance(certificate.get("status"), str):
             errors.add("certificate", "payload carries no 'status' string")
+        deadline_ms = _deadline_ms(data, errors)
         wait = _bool(data, "wait", True, errors)
         errors.raise_if_any()
-        return cls(certificate=certificate, tenant=tenant, wait=wait)
+        return cls(
+            certificate=certificate,
+            tenant=tenant,
+            deadline_ms=deadline_ms,
+            wait=wait,
+        )
 
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, CertifyRequest):

@@ -25,6 +25,20 @@ def summarize(telemetry: Any) -> Dict[str, Any]:
     probe = histograms.get("probe.seconds", {})
 
     span_names = _TallyCounter(s["name"] for s in telemetry.tracer.export())
+    degraded = {
+        name[len("service.degraded_total."):]: value
+        for name, value in counters.items()
+        if name.startswith("service.degraded_total.") and value
+    }
+    deadline_stages = {}
+    for stage in ("admission", "start", "finish"):
+        hist = histograms.get(f"deadline.remaining_ms.{stage}")
+        if hist and hist.get("count"):
+            deadline_stages[stage] = {
+                "count": hist["count"],
+                "mean_ms": (hist.get("sum", 0.0) or 0.0) / hist["count"],
+                "min_ms": hist.get("min") or 0.0,
+            }
     faults = {
         name[len("fault."):]: value
         for name, value in counters.items()
@@ -95,6 +109,14 @@ def summarize(telemetry: Any) -> Dict[str, Any]:
         ),
         "distributed_respawns": counters.get(
             "distributed.workers_respawned", 0
+        ),
+        "deadline_stages": deadline_stages,
+        "degraded": degraded,
+        "deadline_rejections": counters.get(
+            "service.rejected_deadline", 0
+        ),
+        "breaker_transitions": counters.get(
+            "client.breaker_transitions_total", 0
         ),
         "spans": dict(span_names),
     }
@@ -194,5 +216,21 @@ def render(telemetry: Any) -> str:
                 else ""
             )
             + ")"
+        )
+    if s["deadline_stages"]:
+        stages = ", ".join(
+            f"{stage}: {info['count']}x mean {info['mean_ms']:.0f}ms "
+            f"min {info['min_ms']:.0f}ms"
+            for stage, info in s["deadline_stages"].items()
+        )
+        lines.append(f"deadline budget:    {stages}")
+    if s["degraded"]:
+        reasons = ", ".join(
+            f"{k}: {v}" for k, v in sorted(s["degraded"].items())
+        )
+        lines.append(f"degraded answers:   {reasons}")
+    if s["breaker_transitions"]:
+        lines.append(
+            f"circuit breaker:    {s['breaker_transitions']} transitions"
         )
     return "\n".join(lines)

@@ -293,6 +293,11 @@ class TestPublicApiSnapshot:
             "ResultCache",
             "PortfolioSolver",
             "Telemetry",
+            "Deadline",
+            "BackoffPolicy",
+            "ReproClient",
+            "CircuitBreaker",
+            "DeadlineExceeded",
             "BatchRunner",
             "run_batch",
             "certify_batch_dir",
@@ -304,6 +309,7 @@ class TestPublicApiSnapshot:
             "api",
             "baselines",
             "certify",
+            "client",
             "core",
             "distributed",
             "fpga",

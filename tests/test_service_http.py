@@ -307,3 +307,125 @@ class TestShutdown:
                 pass
         finally:
             assert st.stop() == 0
+
+
+class TestHostileRequests:
+    """Defensive parsing: hostile or broken *requests* must be bounced
+    with structured errors inside ``read_timeout``, never pin a reader."""
+
+    def test_slow_loris_head_408(self, tmp_path):
+        """A client dripping header bytes gets a 408 when the whole-head
+        deadline lapses — a per-line timeout would never fire."""
+        with ServiceThread(tmp_path, read_timeout=0.4) as st:
+            with socket.create_connection(
+                ("127.0.0.1", st.port), timeout=30
+            ) as sock:
+                sock.sendall(b"POST /v1/solve HTTP/1.1\r\n")
+                import time as _time
+
+                start = _time.monotonic()
+                # Drip one header byte per poll, slower than the head
+                # deadline allows.
+                response = b""
+                try:
+                    for byte in b"X-Slow: aaaaaaaaaaaaaaaa":
+                        sock.sendall(bytes([byte]))
+                        _time.sleep(0.05)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+                sock.settimeout(5.0)
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        response += chunk
+                except (socket.timeout, ConnectionResetError):
+                    pass
+                elapsed = _time.monotonic() - start
+            assert b"408" in response.split(b"\r\n", 1)[0]
+            assert b"timeout" in response
+            assert elapsed < 5.0  # bounced, not pinned
+
+    def test_oversized_headers_431(self, tmp_path):
+        with ServiceThread(tmp_path, max_header_bytes=1024) as st:
+            with socket.create_connection(
+                ("127.0.0.1", st.port), timeout=30
+            ) as sock:
+                sock.sendall(
+                    b"POST /v1/solve HTTP/1.1\r\n"
+                    b"X-Padding: " + b"a" * 4096 + b"\r\n\r\n"
+                )
+                response = b""
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        response += chunk
+                except (ConnectionResetError, socket.timeout):
+                    pass
+            assert b"431" in response.split(b"\r\n", 1)[0]
+            assert b"headers-too-large" in response
+
+    def test_truncated_body_400(self, tmp_path):
+        """A Content-Length promise the client never honors is a 400
+        after ``read_timeout``, not a hung reader task."""
+        with ServiceThread(tmp_path, read_timeout=0.4) as st:
+            with socket.create_connection(
+                ("127.0.0.1", st.port), timeout=30
+            ) as sock:
+                sock.sendall(
+                    b"POST /v1/solve HTTP/1.1\r\n"
+                    b"Content-Length: 5000\r\n\r\n"
+                    b'{"partial":'
+                )
+                sock.settimeout(5.0)
+                response = b""
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        response += chunk
+                except (socket.timeout, ConnectionResetError):
+                    pass
+            assert b"400" in response.split(b"\r\n", 1)[0]
+            assert b"truncated request body" in response
+
+
+class TestHealthAndReady:
+    def test_health_always_ok_while_alive(self, tmp_path):
+        with ServiceThread(tmp_path) as st:
+            status, body, _ = request_json(st.port, "GET", "/v1/health")
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["uptime"] >= 0
+
+    def test_ready_reflects_admission_headroom(self, tmp_path):
+        with ServiceThread(tmp_path, queue_capacity=2) as st:
+            status, body, _ = request_json(st.port, "GET", "/v1/ready")
+            assert status == 200
+            assert body["ready"] is True
+            assert body["capacity"] == 2
+            assert body["brownout"] == 0
+            # Fill every queue slot; readiness must flip to 503 while
+            # liveness stays 200.
+            tickets = [
+                st.service.admission.admit(f"t{i}") for i in range(2)
+            ]
+            try:
+                status, body, _ = request_json(st.port, "GET", "/v1/ready")
+                assert status == 503
+                assert body["ready"] is False
+                assert body["in_flight"] == 2
+                status, body, _ = request_json(st.port, "GET", "/v1/health")
+                assert status == 200
+            finally:
+                for ticket in tickets:
+                    st.service.admission.release(ticket)
+
+    def test_status_reports_brownout_level(self, tmp_path):
+        with ServiceThread(tmp_path) as st:
+            body = request_json(st.port, "GET", "/v1/status")[1]
+            assert body["service"]["brownout"] == 0
